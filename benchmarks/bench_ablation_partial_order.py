@@ -1,0 +1,125 @@
+"""Ablation A1 — the partial-order state-space reduction.
+
+The paper: "the proposed method adopts a partial-order minimization
+technique [Lilius] in order to prune the state space".  This bench
+measures visited states and wall-clock with the reduction on and off —
+on the mine pump and on a mid-size random set — quantifying how much
+the reduction contributes to keeping the search near the minimum.
+"""
+
+import pytest
+
+from repro.blocks import compose
+from repro.scheduler import SchedulerConfig, find_schedule
+from repro.spec import mine_pump
+from repro.workloads import random_task_set
+
+
+@pytest.fixture(scope="module")
+def mine_pump_model():
+    return compose(mine_pump())
+
+
+@pytest.fixture(scope="module")
+def random_model():
+    return compose(random_task_set(6, 0.5, seed=5))
+
+
+def bench_mine_pump_reduction_on(benchmark, mine_pump_model, report):
+    result = benchmark(
+        find_schedule,
+        mine_pump_model,
+        SchedulerConfig(partial_order=True),
+    )
+    assert result.feasible
+    report("A1", "mine pump states (reduction ON)", "3268 (paper)",
+           result.stats.states_visited)
+    report("A1", "reductions applied", "n/a",
+           result.stats.reductions)
+
+
+def bench_mine_pump_reduction_off(benchmark, mine_pump_model, report):
+    result = benchmark(
+        find_schedule,
+        mine_pump_model,
+        SchedulerConfig(partial_order=False),
+    )
+    assert result.feasible
+    report("A1", "mine pump states (reduction OFF)", "n/a",
+           result.stats.states_visited)
+
+
+def bench_random_set_reduction_on(benchmark, random_model):
+    result = benchmark(
+        find_schedule,
+        random_model,
+        SchedulerConfig(partial_order=True),
+    )
+    assert result.feasible
+
+
+def bench_random_set_reduction_off(benchmark, random_model):
+    result = benchmark(
+        find_schedule,
+        random_model,
+        SchedulerConfig(partial_order=False),
+    )
+    assert result.feasible
+
+
+def test_reduction_never_hurts_state_count(
+    mine_pump_model, random_model, report
+):
+    for name, model in (
+        ("mine-pump", mine_pump_model),
+        ("random", random_model),
+    ):
+        on = find_schedule(model, SchedulerConfig(partial_order=True))
+        off = find_schedule(
+            model, SchedulerConfig(partial_order=False)
+        )
+        assert on.feasible and off.feasible
+        assert on.stats.states_visited <= off.stats.states_visited
+        report(
+            "A1",
+            f"{name}: ON vs OFF states",
+            "ON <= OFF",
+            f"{on.stats.states_visited} <= "
+            f"{off.stats.states_visited}",
+        )
+
+
+def _infeasible_spec():
+    """A provably infeasible set: the 47-unit non-preemptive block
+    always swallows a whole window of the period-20 task."""
+    from repro.spec import SpecBuilder
+
+    return (
+        SpecBuilder("impossible")
+        .task("TICK", computation=1, deadline=20, period=20)
+        .task("MID", computation=5, deadline=40, period=40)
+        .task("BLOCK", computation=47, deadline=200, period=200)
+        .build()
+    )
+
+
+def bench_infeasibility_proof_reduction_on(benchmark, report):
+    """Exhaustive exploration (infeasibility proof) is where the
+    reduction pays: fewer interleavings to rule out."""
+    model = compose(_infeasible_spec())
+    result = benchmark(
+        find_schedule, model, SchedulerConfig(partial_order=True)
+    )
+    assert not result.feasible and not result.exhausted
+    report("A1", "infeasibility proof states (ON)", "n/a",
+           result.stats.states_visited)
+
+
+def bench_infeasibility_proof_reduction_off(benchmark, report):
+    model = compose(_infeasible_spec())
+    result = benchmark(
+        find_schedule, model, SchedulerConfig(partial_order=False)
+    )
+    assert not result.feasible and not result.exhausted
+    report("A1", "infeasibility proof states (OFF)", "n/a",
+           result.stats.states_visited)

@@ -1,0 +1,99 @@
+"""Experiment B1 — pre-runtime synthesis vs priority-driven runtime.
+
+The motivation for pre-runtime scheduling (paper Section 1, Mok [10]):
+work-conserving runtime policies cannot insert idle time or make
+non-greedy ordering decisions, so sets with exclusion relations and
+non-preemptable sections defeat them while a pre-runtime schedule
+exists.  Rows produced:
+
+* the *mine pump itself*: EDF/DM/RM all miss PMC's second deadline
+  (the non-preemptive 25-unit CH4H blocks it); the DFS backtracks
+  around exactly that trap — the paper's own case study demonstrates
+  the method's reason to exist;
+* the Mok trap (idle insertion required);
+* the exclusion-blocking set (EDF/DM trapped by a critical section);
+* the classical RM-overload pair (DM/RM miss, EDF meets).
+"""
+
+import pytest
+
+from repro.blocks import compose
+from repro.scheduler import (
+    SchedulerConfig,
+    exclusion_blocking_pair,
+    find_schedule,
+    mok_trap,
+    rm_overload_pair,
+    simulate_runtime,
+)
+from repro.spec import mine_pump
+
+WORKLOADS = {
+    "mine-pump": mine_pump,
+    "mok-trap": mok_trap,
+    "exclusion": exclusion_blocking_pair,
+    "rm-overload": rm_overload_pair,
+}
+
+#: expected feasibility: (edf, dm, rm, pre-runtime)
+EXPECTED = {
+    "mine-pump": (False, False, False, True),
+    "mok-trap": (False, False, False, True),
+    "exclusion": (False, False, True, True),
+    "rm-overload": (True, False, False, True),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(WORKLOADS))
+def workload(request):
+    return request.param, WORKLOADS[request.param]()
+
+
+def test_feasibility_matrix(report):
+    for name, factory in sorted(WORKLOADS.items()):
+        spec = factory()
+        outcomes = tuple(
+            simulate_runtime(spec, policy).feasible
+            for policy in ("edf", "dm", "rm")
+        )
+        pre = find_schedule(
+            compose(spec), SchedulerConfig(delay_mode="extremes")
+        ).feasible
+        assert (*outcomes, pre) == EXPECTED[name], name
+        row = "/".join(
+            "ok" if flag else "MISS" for flag in (*outcomes, pre)
+        )
+        report("B1", f"{name} (EDF/DM/RM/pre-runtime)",
+               "pre-runtime wins", row)
+
+
+def bench_runtime_edf(benchmark, workload):
+    name, spec = workload
+    outcome = benchmark(simulate_runtime, spec, "edf")
+    assert outcome.feasible == EXPECTED[name][0]
+
+
+def bench_runtime_dm(benchmark, workload):
+    name, spec = workload
+    outcome = benchmark(simulate_runtime, spec, "dm")
+    assert outcome.feasible == EXPECTED[name][1]
+
+
+def bench_pre_runtime(benchmark, workload):
+    name, spec = workload
+    model = compose(spec)
+    result = benchmark(
+        find_schedule, model, SchedulerConfig(delay_mode="extremes")
+    )
+    assert result.feasible == EXPECTED[name][3]
+
+
+def test_mine_pump_miss_is_the_blocking_trap(report):
+    """Pin down *why* runtime EDF fails on the paper's case study."""
+    outcome = simulate_runtime(mine_pump(), "edf")
+    assert not outcome.feasible
+    miss = outcome.misses[0]
+    assert (miss.task, miss.instance, miss.deadline) == ("PMC", 2, 100)
+    report("B1", "mine pump EDF first miss",
+           "PMC#2 blocked by CH4H", f"{miss.task}#{miss.instance}@"
+           f"{miss.deadline}")

@@ -1,0 +1,116 @@
+"""Experiment E2 — the building blocks of Figs. 1 and 2.
+
+Verifies the structural content of every block type (node kinds,
+intervals, the figure's characteristic arc weights) and measures the
+cost of block construction and whole-model composition.
+"""
+
+import pytest
+
+from repro.blocks import (
+    BlockStyle,
+    add_fork_block,
+    add_join_block,
+    add_processor_block,
+    add_task_blocks,
+)
+from repro.spec import SchedulingType, Task
+from repro.tpn import TimeInterval, TimePetriNet
+
+
+def _fresh_task(preemptive: bool = False) -> Task:
+    return Task(
+        name="X",
+        computation=4,
+        deadline=12,
+        period=20,
+        release=1,
+        phase=2,
+        scheduling=(
+            SchedulingType.PREEMPTIVE
+            if preemptive
+            else SchedulingType.NON_PREEMPTIVE
+        ),
+    )
+
+
+def test_blocks_match_figures(report):
+    net = TimePetriNet("figs")
+    proc = add_processor_block(net, "proc0")
+    nodes = add_task_blocks(net, _fresh_task(), 3, proc)
+    # Fig 1(c): arrival with a_i = N-1 budget weight
+    report("E2", "arrival budget weight a_i", "N-1",
+           net.output_weight("tph_X", "pwa_X"))
+    assert net.output_weight("tph_X", "pwa_X") == 2
+    # Fig 1(d): deadline checking [d, d]
+    assert net.transition(nodes.deadline_t).interval == (
+        TimeInterval.point(12)
+    )
+    # Fig 2(a): release window [r, d-c], computation [c, c]
+    assert net.transition(nodes.release_t).interval == TimeInterval(
+        1, 8
+    )
+    assert net.transition(nodes.compute_t).interval == (
+        TimeInterval.point(4)
+    )
+    report("E2", "NP compute interval", "[c, c]",
+           str(net.transition(nodes.compute_t).interval))
+
+    net2 = TimePetriNet("figs-p")
+    proc2 = add_processor_block(net2, "proc0")
+    nodes2 = add_task_blocks(net2, _fresh_task(preemptive=True), 3, proc2)
+    # Fig 2(b): unit subtasks and the weight-c arcs
+    assert net2.transition(nodes2.compute_t).interval == (
+        TimeInterval.point(1)
+    )
+    assert net2.output_weight("tr_X", "pwg_X") == 4
+    assert net2.input_weight("pwf_X", "tf_X") == 4
+    report("E2", "P unit-subtask interval", "[1, 1]",
+           str(net2.transition(nodes2.compute_t).interval))
+    report("E2", "P weight-c arcs", "c", 4)
+
+
+def bench_single_task_block(benchmark):
+    """Cost of instantiating one task's blocks (Figs. 1(c,d) + 2)."""
+
+    def build():
+        net = TimePetriNet("one")
+        proc = add_processor_block(net, "proc0")
+        return add_task_blocks(net, _fresh_task(), 10, proc)
+
+    nodes = benchmark(build)
+    assert nodes.finisher == "tc_X"
+
+
+def bench_fork_join_composition(benchmark):
+    """Fork + join over 50 tasks (Figs. 1(a,b))."""
+
+    def build():
+        net = TimePetriNet("many")
+        proc = add_processor_block(net, "proc0")
+        pools = {}
+        for i in range(50):
+            task = Task(
+                name=f"T{i}", computation=1, deadline=10, period=10
+            )
+            nodes = add_task_blocks(net, task, 2, proc)
+            pools[nodes.finished_pool] = 2
+        add_fork_block(net, [f"pst_T{i}" for i in range(50)])
+        add_join_block(net, pools)
+        return net
+
+    net = benchmark(build)
+    # per task: t_ph, t_a, t_d, t_r, t_g, t_c — plus fork and join
+    assert net.stats()["transitions"] == 50 * 6 + 2
+
+
+@pytest.mark.parametrize("style", [BlockStyle.COMPACT, BlockStyle.EXPANDED])
+def bench_block_style_cost(benchmark, style):
+    """Compact vs expanded per-task construction cost."""
+
+    def build():
+        net = TimePetriNet(f"style-{style.value}")
+        proc = add_processor_block(net, "proc0")
+        return add_task_blocks(net, _fresh_task(), 5, proc, style=style)
+
+    benchmark(build)

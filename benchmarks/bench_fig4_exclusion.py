@@ -1,0 +1,67 @@
+"""Experiment E4 — the exclusion relation model of Fig. 4.
+
+The figure draws the preemptive pair T0 (c=10, the weight-10 arcs) and
+T2 (c=20, weight-20 arcs) sharing the single-token exclusion place,
+with unit-subtask computations [1,1], releases [0,90]/[0,130] and
+deadlines [100,100]/[150,150].
+"""
+
+import pytest
+
+from repro.blocks import BlockStyle, ComposerOptions, compose
+from repro.scheduler import find_schedule, schedule_from_result
+from repro.spec import fig4_exclusion
+from repro.tpn import TimeInterval
+
+
+@pytest.fixture(scope="module")
+def expanded_model():
+    return compose(
+        fig4_exclusion(), ComposerOptions(style=BlockStyle.EXPANDED)
+    )
+
+
+def test_fig4_structure(expanded_model, report):
+    net = expanded_model.net
+    assert net.transition("tr_T0").interval == TimeInterval(0, 90)
+    assert net.transition("tr_T2").interval == TimeInterval(0, 130)
+    assert net.transition("td_T0").interval == TimeInterval(100, 100)
+    assert net.transition("td_T2").interval == TimeInterval(150, 150)
+    assert net.transition("tc_T0").interval == TimeInterval(1, 1)
+    assert net.transition("tc_T2").interval == TimeInterval(1, 1)
+    excl = net.place("pexcl_T0_T2")
+    assert excl.marking == 1
+    report("E4", "exclusion place marking", 1, excl.marking)
+    report("E4", "weight-c arcs (T0/T2)", "10/20",
+           f"{net.input_weight('pwf_T0', 'tf_T0')}/"
+           f"{net.input_weight('pwf_T2', 'tf_T2')}")
+    assert net.input_weight("pwf_T0", "tf_T0") == 10
+    assert net.input_weight("pwf_T2", "tf_T2") == 20
+
+
+def bench_fig4_composition(benchmark):
+    model = benchmark(
+        compose,
+        fig4_exclusion(),
+        ComposerOptions(style=BlockStyle.EXPANDED),
+    )
+    assert model.net.has_place("pexcl_T0_T2")
+
+
+def bench_fig4_schedule(benchmark, expanded_model, report):
+    result = benchmark(find_schedule, expanded_model)
+    assert result.feasible
+    schedule = schedule_from_result(expanded_model, result)
+    # exclusion: no interleaving between T0 and T2 envelopes
+    interleavings = 0
+    for k0 in (1, 2):
+        t0 = schedule.segments_of("T0", k0)
+        lo, hi = t0[0].start, t0[-1].end
+        for k2 in (1, 2):
+            for seg in schedule.segments_of("T2", k2):
+                if seg.start < hi and seg.end > lo:
+                    interleavings += 1
+    assert interleavings == 0
+    report("E4", "T0/T2 interleavings", 0, interleavings)
+    report("E4", "states visited", "n/a",
+           result.stats.states_visited)

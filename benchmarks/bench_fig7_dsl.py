@@ -1,0 +1,70 @@
+"""Experiment E7 — the ez-spec DSL of Fig. 7.
+
+The paper prints a concrete ez-spec fragment; the parser must accept it
+verbatim with the figure's field conventions (``computing``, ``power``,
+``schedulingMode``, ``precedesTasks="#id"`` references).  Throughput is
+measured on the snippet and on a large generated document.
+"""
+
+import pytest
+
+from repro.spec import (
+    PAPER_FIG7_SNIPPET,
+    SchedulingType,
+    SpecBuilder,
+    dumps,
+    loads,
+)
+
+
+def test_fig7_verbatim(report):
+    spec = loads(PAPER_FIG7_SNIPPET)
+    t1 = spec.task("T1")
+    assert (t1.period, t1.computation, t1.deadline) == (9, 1, 9)
+    assert t1.energy == 10  # <power>
+    assert t1.scheduling is SchedulingType.NON_PREEMPTIVE
+    assert spec.precedence_pairs() == [("T1", "T2")]
+    report("E7", "paper snippet parses", "yes", "yes")
+    report("E7", "field mapping (computing/power/NP)", "3/3", "3/3")
+
+
+def bench_parse_paper_snippet(benchmark):
+    spec = benchmark(loads, PAPER_FIG7_SNIPPET)
+    assert len(spec.tasks) == 2
+
+
+def bench_serialise_paper_snippet(benchmark):
+    spec = loads(PAPER_FIG7_SNIPPET)
+    document = benchmark(dumps, spec)
+    assert "schedulingMode" in document
+
+
+@pytest.fixture(scope="module")
+def big_document():
+    builder = SpecBuilder("big").processor("proc0")
+    for i in range(200):
+        builder.task(
+            f"T{i}",
+            computation=1,
+            deadline=50,
+            period=50,
+            energy=i,
+            code=f"job_{i}();",
+        )
+    for i in range(0, 198, 2):
+        builder.precedence(f"T{i}", f"T{i + 1}")
+    return dumps(builder.build())
+
+
+def bench_parse_200_tasks(benchmark, big_document):
+    spec = benchmark(loads, big_document)
+    assert len(spec.tasks) == 200
+    assert len(spec.precedence_pairs()) == 99
+
+
+def bench_roundtrip_200_tasks(benchmark, big_document):
+    def roundtrip():
+        return dumps(loads(big_document))
+
+    result = benchmark(roundtrip)
+    assert "T199" in result

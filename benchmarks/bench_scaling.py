@@ -1,0 +1,75 @@
+"""Experiment SC1 — scaling of the pre-runtime search.
+
+The paper reports one data point (782 instances / 3268 states /
+330 ms).  This bench sweeps task-set size and hyper-period to show the
+scaling shape: states visited grow linearly with the number of task
+instances while the search stays backtrack-light, and wall-clock grows
+with states × net size.
+"""
+
+import pytest
+
+from repro.blocks import compose
+from repro.scheduler import find_schedule
+from repro.spec import total_instances
+from repro.workloads import random_task_set
+
+SIZES = (2, 4, 8, 12)
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def sized_model(request):
+    n = request.param
+    spec = random_task_set(
+        n, total_utilization=0.4, seed=100 + n,
+        period_grid=(20, 40, 80),
+    )
+    return n, spec, compose(spec)
+
+
+def bench_search_by_task_count(benchmark, sized_model, report):
+    n, spec, model = sized_model
+    result = benchmark(find_schedule, model)
+    assert result.feasible
+    per_instance = (
+        result.stats.states_visited / model.total_instances
+    )
+    report(
+        "SC1",
+        f"n={n}: instances / states / per-instance",
+        "linear",
+        f"{model.total_instances} / "
+        f"{result.stats.states_visited} / {per_instance:.1f}",
+    )
+
+
+def test_states_scale_with_instances(report):
+    """Across the sweep, visited states per instance stay bounded
+    (the search is guided, not exploding)."""
+    ratios = []
+    for n in SIZES:
+        spec = random_task_set(
+            n, total_utilization=0.4, seed=100 + n,
+            period_grid=(20, 40, 80),
+        )
+        model = compose(spec)
+        result = find_schedule(model)
+        assert result.feasible
+        ratios.append(
+            result.stats.states_visited / model.total_instances
+        )
+    assert max(ratios) < 12.0  # compact blocks: ~4-6 firings/instance
+    report("SC1", "states per instance across sweep", "bounded",
+           f"{min(ratios):.1f} .. {max(ratios):.1f}")
+
+
+@pytest.mark.parametrize("periods", [(10, 20), (10, 25), (20, 50)])
+def bench_hyperperiod_growth(benchmark, periods):
+    """Same tasks, different period grids: the LCM drives the cost."""
+    spec = random_task_set(
+        5, total_utilization=0.4, seed=77, period_grid=periods
+    )
+    model = compose(spec)
+    result = benchmark(find_schedule, model)
+    assert result.feasible
+    assert total_instances(spec) == model.total_instances

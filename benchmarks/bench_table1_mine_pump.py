@@ -1,0 +1,89 @@
+"""Experiment E1 — Table 1 and the Section-5 numbers (mine pump).
+
+Paper: "This problem has 10 tasks, implying 782 tasks' instances and,
+at the beginning, all 10 tasks arrive at the same time.  Our solution
+searched 3268 states (where minimum number of states is 3130) in
+330 ms" (AMD Athlon 1800, 768 MB RAM, Linux, GCC 4.0.2).
+
+Reproduced here: instance count and minimum state count exactly; the
+visited-state count within a few percent (tie-breaking details differ);
+the search wall-clock on current hardware.
+"""
+
+import pytest
+
+from repro.blocks import compose
+from repro.scheduler import (
+    find_schedule,
+    schedule_from_result,
+    validate_schedule,
+)
+from repro.spec import mine_pump, schedule_period, total_instances
+
+PAPER_INSTANCES = 782
+PAPER_MIN_STATES = 3130
+PAPER_VISITED = 3268
+PAPER_MS_ATHLON_1800 = 330
+
+
+@pytest.fixture(scope="module")
+def model():
+    return compose(mine_pump())
+
+
+def test_spec_reproduces_table1(report):
+    spec = mine_pump()
+    assert total_instances(spec) == PAPER_INSTANCES
+    assert schedule_period(spec) == 30000
+    report("E1", "task instances", PAPER_INSTANCES,
+           total_instances(spec))
+
+
+def bench_mine_pump_compose(benchmark, report):
+    """Spec → TPN translation cost for the full case study."""
+    model = benchmark(compose, mine_pump())
+    stats = model.net.stats()
+    report("E1", "TPN size (P/T/F)", "n/a",
+           f"{stats['places']}/{stats['transitions']}/{stats['arcs']}")
+    assert model.minimum_firings() == PAPER_MIN_STATES
+
+
+def bench_mine_pump_search(benchmark, model, report):
+    """The headline search: feasible schedule over 30 000 time units."""
+    result = benchmark(find_schedule, model)
+    assert result.feasible
+    assert result.minimum_firings == PAPER_MIN_STATES
+    # tie-breaking differs from the original tool; stay within 10%
+    assert (
+        PAPER_MIN_STATES
+        <= result.stats.states_visited
+        <= int(PAPER_VISITED * 1.10)
+    )
+    report("E1", "minimum states", PAPER_MIN_STATES,
+           result.minimum_firings)
+    report("E1", "states visited", PAPER_VISITED,
+           result.stats.states_visited)
+    report(
+        "E1",
+        "search time (different hw)",
+        f"{PAPER_MS_ATHLON_1800} ms",
+        f"{result.stats.elapsed_seconds * 1000:.0f} ms",
+    )
+
+
+def bench_mine_pump_extract_and_validate(benchmark, model, report):
+    """Schedule extraction + full constraint validation."""
+    result = find_schedule(model)
+
+    def run():
+        schedule = schedule_from_result(model, result, check=False)
+        violations = validate_schedule(model, schedule)
+        return schedule, violations
+
+    schedule, violations = benchmark(run)
+    assert violations == []
+    assert len({(s.task, s.instance) for s in schedule.segments}) == (
+        PAPER_INSTANCES
+    )
+    report("E1", "deadline misses over PS", 0, len(violations))
+    report("E1", "schedule makespan", "<= 30000", schedule.makespan)

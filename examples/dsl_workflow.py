@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""The full model-driven workflow of the paper's Fig. 6, file by file.
+
+Walks the tool architecture end to end through its interchange
+formats:
+
+1. start from the paper's published ez-spec DSL snippet (Fig. 7) —
+   parsed verbatim;
+2. extend it with a message-mediated precedence (bus communication,
+   exercising the Message metamodel class of Fig. 5);
+3. write the spec back to XML (round-trip);
+4. translate to the time Petri net and export PNML (ISO/IEC 15909-2);
+5. re-read the PNML and prove the model survived the round-trip;
+6. schedule and print the result, including the bus transfer;
+7. run the runtime baselines on the same spec for comparison.
+
+Run:  python examples/dsl_workflow.py
+"""
+
+import os
+import tempfile
+
+from repro import compose, find_schedule, schedule_from_result
+from repro.pnml import dumps as pnml_dumps, loads as pnml_loads
+from repro.scheduler import simulate_runtime
+from repro.spec import (
+    PAPER_FIG7_SNIPPET,
+    SpecBuilder,
+    dumps as dsl_dumps,
+    loads as dsl_loads,
+)
+
+
+def main() -> None:
+    # 1. parse the paper's own DSL fragment ----------------------------
+    spec = dsl_loads(PAPER_FIG7_SNIPPET)
+    print(
+        f"parsed Fig. 7 snippet: {spec.name!r} with tasks "
+        f"{[t.name for t in spec.tasks]}, precedence "
+        f"{spec.precedence_pairs()}"
+    )
+
+    # 2. a richer spec with a message on a bus -------------------------
+    rich = (
+        SpecBuilder("sensor-network-node")
+        .processor("mcu0")
+        .task("SAMPLE", computation=2, deadline=10, period=25,
+              code="adc_sample();")
+        .task("FILTER", computation=3, deadline=20, period=25,
+              code="fir_filter();")
+        .task("TX", computation=4, deadline=25, period=25,
+              code="radio_tx();")
+        .task("HOUSE", computation=3, deadline=50, period=50,
+              code="housekeeping();")
+        .precedence("SAMPLE", "FILTER")
+        .message("m_filtered", sender="FILTER", receiver="TX",
+                 communication=2, bus="spi0", grant_bus=1)
+        .build()
+    )
+
+    # 3. DSL round-trip -------------------------------------------------
+    document = dsl_dumps(rich)
+    reparsed = dsl_loads(document)
+    assert [t.name for t in reparsed.tasks] == [
+        t.name for t in rich.tasks
+    ]
+    assert reparsed.messages[0].bus == "spi0"
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".xml", delete=False
+    ) as handle:
+        handle.write(document)
+        xml_path = handle.name
+    print(f"DSL round-trip OK; spec written to {xml_path}")
+
+    # 4. TPN + PNML ------------------------------------------------------
+    model = compose(reparsed)
+    pnml_text = pnml_dumps(model.net)
+    print(
+        f"TPN: {model.net.stats()} — PNML document is "
+        f"{len(pnml_text.splitlines())} lines"
+    )
+
+    # 5. PNML round-trip -------------------------------------------------
+    reloaded = pnml_loads(pnml_text)
+    assert reloaded.stats() == model.net.stats()
+    assert (
+        reloaded.transition("tr_SAMPLE").interval
+        == model.net.transition("tr_SAMPLE").interval
+    )
+    print("PNML round-trip OK (structure, intervals, final marking)")
+
+    # 6. schedule ---------------------------------------------------------
+    result = find_schedule(model)
+    assert result.feasible
+    schedule = schedule_from_result(model, result)
+    print(
+        f"schedule: {len(schedule.items)} table entries, bus "
+        f"transfers {[(b.message, b.start, b.end) for b in schedule.bus_segments]}"
+    )
+    tx = schedule.segments_of("TX", 1)[0]
+    transfer = schedule.bus_segments[0]
+    print(
+        f"  TX starts at {tx.start} — after m_filtered delivery at "
+        f"{transfer.end} (bus grant + 2-unit transfer on spi0)"
+    )
+
+    # 7. runtime baselines ------------------------------------------------
+    print("\nruntime baselines on the same spec:")
+    for policy in ("edf", "dm", "rm"):
+        print(f"  {simulate_runtime(reparsed, policy).summary()}")
+    print(
+        "\n(the pre-runtime table needs no runtime scheduler at all — "
+        "only the table, a timer and the small dispatcher)"
+    )
+    os.unlink(xml_path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The paper's Section-5 case study: the mine pump control system.
+
+"This system is a simplified pump control system for a mining
+environment.  The system is used to pump mine-water, collected in a
+sump at the bottom of the shelf to the surface. [...] The pump should
+only be allowed to operate if the methane level (CH4) in the mine is
+below a critical level."
+
+Reproduces the published numbers:
+
+* 10 tasks (Table 1), schedule period 30 000, 782 task instances;
+* a feasible schedule found by the depth-first search;
+* minimum number of states 3130; states visited close to the paper's
+  3268; milliseconds-scale search time;
+
+then goes beyond the paper's text: validates the schedule against every
+specification constraint, executes it on the simulated dispatcher for
+the full hyper-period, and generates + optionally writes the scheduled
+C project.
+
+Run:  python examples/mine_pump.py [output-dir]
+"""
+
+import sys
+
+from repro import (
+    compose,
+    find_schedule,
+    generate_project,
+    mine_pump,
+    run_schedule,
+    schedule_from_result,
+    verify_trace,
+)
+from repro.analysis import full_report, render_gantt
+from repro.spec import MINE_PUMP_TABLE1
+
+
+def main() -> None:
+    print("Table 1 — Specification for Mine Pump")
+    print(f"{'task':<6} {'Computation':>11} {'Deadline':>9} {'Period':>7}")
+    for name, computation, deadline, period in MINE_PUMP_TABLE1:
+        print(
+            f"{name:<6} {computation:>11} {deadline:>9} {period:>7}"
+        )
+    print()
+
+    spec = mine_pump()
+    model = compose(spec)
+    result = find_schedule(model)
+    assert result.feasible, "the mine pump must be schedulable"
+    schedule = schedule_from_result(model, result)
+
+    print(full_report(model, result, schedule))
+    print()
+    print(
+        "paper reference: 782 instances, 3268 states searched "
+        "(minimum 3130), 330 ms on an AMD Athlon 1800"
+    )
+    print()
+
+    # first 200 time units of the synthesised schedule
+    print(render_gantt(model, schedule.segments, 0, 200))
+    print()
+
+    # execute the whole hyper-period on the simulated dispatcher
+    machine_result = run_schedule(model, schedule)
+    violations = verify_trace(model, machine_result)
+    print(machine_result.trace.summary())
+    if violations:
+        print("TRACE VIOLATIONS:")
+        for violation in violations[:10]:
+            print(f"  - {violation}")
+        raise SystemExit(1)
+    print(
+        f"dispatcher simulation: {len(machine_result.completions)} "
+        "instances completed, zero deadline misses over "
+        f"{model.schedule_period} time units"
+    )
+
+    # scheduled C project
+    project = generate_project(model, schedule, target="hostsim")
+    if len(sys.argv) > 1:
+        paths = project.write(sys.argv[1])
+        print(f"wrote {len(paths)} generated files to {sys.argv[1]}")
+    else:
+        table = project.files["ezrt_schedule.c"]
+        print()
+        print("generated schedule table (first 12 lines):")
+        print("\n".join(table.splitlines()[:12]))
+
+
+if __name__ == "__main__":
+    main()

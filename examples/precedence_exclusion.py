@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Inter-task relations: the models of the paper's Figs. 3 and 4.
+
+Builds both illustration nets with the *expanded* block style (the one
+drawn in the figures), prints their structure — including the
+``pprec``/``pexcl`` places and the figure's arc weights — synthesises
+their schedules and shows that:
+
+* in Fig. 3, every instance of T2 starts only after the same-index
+  instance of T1 finished (precedence);
+* in Fig. 4, the executions of the two preemptive tasks never
+  interleave despite both being preemptible (exclusion); a third run
+  without the exclusion relation shows interleaving does happen
+  otherwise — the relation, not luck, produces the separation.
+
+Run:  python examples/precedence_exclusion.py
+"""
+
+from repro import (
+    BlockStyle,
+    ComposerOptions,
+    SpecBuilder,
+    compose,
+    find_schedule,
+    fig3_precedence,
+    fig4_exclusion,
+    schedule_from_result,
+)
+from repro.analysis import render_gantt
+
+
+def show_fig3() -> None:
+    print("=" * 64)
+    print("Fig. 3 — precedence relation model (T1 PRECEDES T2)")
+    print("=" * 64)
+    spec = fig3_precedence()
+    model = compose(
+        spec, ComposerOptions(style=BlockStyle.EXPANDED)
+    )
+    net = model.net
+
+    print("figure intervals reproduced:")
+    for name in ("tr_T1", "tc_T1", "td_T1", "tr_T2", "tc_T2", "td_T2"):
+        transition = net.transition(name)
+        print(f"  {name:<7} {transition.interval}")
+    weight = net.output_weight("tph_T1", "pwa_T1")
+    print(f"  arrival arc weight a_1 = {weight} (figure shows 2)")
+    print(f"  precedence place exists: {net.has_place('pprec_T1_T2')}")
+
+    result = find_schedule(model)
+    schedule = schedule_from_result(model, result)
+    print(f"\nschedule found ({result.stats.states_visited} states):")
+    for instance in (1, 2):
+        t1 = schedule.segments_of("T1", instance)
+        t2 = schedule.segments_of("T2", instance)
+        print(
+            f"  instance {instance}: T1 ends {t1[-1].end}, "
+            f"T2 starts {t2[0].start} "
+            f"({'OK' if t2[0].start >= t1[-1].end else 'VIOLATION'})"
+        )
+    print()
+    print(render_gantt(model, schedule.segments, 0, 300))
+    print()
+
+
+def show_fig4() -> None:
+    print("=" * 64)
+    print("Fig. 4 — exclusion relation model (T0 EXCLUDES T2)")
+    print("=" * 64)
+    spec = fig4_exclusion()
+    model = compose(
+        spec, ComposerOptions(style=BlockStyle.EXPANDED)
+    )
+    net = model.net
+
+    print("figure structure reproduced:")
+    print(
+        f"  tc_T0 interval {net.transition('tc_T0').interval} "
+        "(preemptive unit subtasks)"
+    )
+    print(
+        f"  weight-c arcs: tl_T0->pwg_T0 = "
+        f"{net.output_weight('tl_T0', 'pwg_T0')} (figure: 10), "
+        f"pwf_T2->tf_T2 = {net.input_weight('pwf_T2', 'tf_T2')} "
+        "(figure: 20)"
+    )
+    excl = net.place("pexcl_T0_T2")
+    print(
+        f"  shared exclusion place pexcl_T0_T2: marking "
+        f"{excl.marking} (single token)"
+    )
+
+    result = find_schedule(model)
+    schedule = schedule_from_result(model, result)
+    print(f"\nschedule found ({result.stats.states_visited} states):")
+    for task in ("T0", "T2"):
+        for instance in (1, 2):
+            segs = schedule.segments_of(task, instance)
+            envelope = f"[{segs[0].start}, {segs[-1].end})"
+            print(
+                f"  {task} instance {instance}: envelope {envelope}, "
+                f"{len(segs)} segment(s)"
+            )
+    print()
+    print(render_gantt(model, schedule.segments, 0, 300))
+    print()
+
+
+def show_exclusion_matters() -> None:
+    print("=" * 64)
+    print("Control experiment: same tasks WITHOUT the exclusion")
+    print("=" * 64)
+    spec = (
+        SpecBuilder("fig4-no-exclusion")
+        .processor("proc0")
+        .task("T0", computation=10, deadline=100, period=250,
+              scheduling="P")
+        .task("T2", computation=20, deadline=150, period=250,
+              scheduling="P")
+        .task("T4", computation=1, deadline=500, period=500,
+              scheduling="NP")
+        .build()
+    )
+    model = compose(spec)
+    result = find_schedule(model)
+    schedule = schedule_from_result(model, result)
+    t0 = schedule.segments_of("T0", 1)
+    t2 = schedule.segments_of("T2", 1)
+    t0_env = (t0[0].start, t0[-1].end)
+    interleaved = any(
+        s.start < t0_env[1] and s.end > t0_env[0] for s in t2
+    )
+    print(
+        f"  T0 envelope [{t0_env[0]}, {t0_env[1]}), T2 segments "
+        f"{[(s.start, s.end) for s in t2]}"
+    )
+    print(
+        "  interleaving without exclusion:",
+        "yes — the relation is what prevents it" if interleaved
+        else "no (this schedule happened to separate them)",
+    )
+
+
+def main() -> None:
+    show_fig3()
+    show_fig4()
+    show_exclusion_matters()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Quickstart: specify, schedule, generate and execute in ~40 lines.
+
+A two-task sensing/actuation loop: the actuator may only run after the
+sensor of the same period finished (a precedence relation).  The script
+walks the whole ezRealtime pipeline:
+
+1. build the specification (the GUI-equivalent, as Python);
+2. translate it to a time Petri net via the composition blocks;
+3. synthesise a feasible pre-runtime schedule (DFS over the TLTS);
+4. print the schedule table (paper Fig. 8 format);
+5. generate the scheduled C project;
+6. execute the table on the simulated dispatcher and verify the trace.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    SpecBuilder,
+    compose,
+    find_schedule,
+    generate_project,
+    run_schedule,
+    schedule_from_result,
+    verify_trace,
+)
+from repro.codegen import render_paper_style
+
+
+def main() -> None:
+    # 1. specification ------------------------------------------------
+    spec = (
+        SpecBuilder("quickstart")
+        .processor("mcu0")
+        .task("Sense", computation=2, deadline=8, period=20,
+              code="adc_read(&sample);")
+        .task("Act", computation=3, deadline=20, period=20,
+              code="dac_write(control(sample));")
+        .task("Log", computation=4, deadline=40, period=40,
+              code="uart_log(sample);")
+        .precedence("Sense", "Act")
+        .build()
+    )
+    print(f"spec: {spec}")
+
+    # 2. time Petri net model -----------------------------------------
+    model = compose(spec)
+    stats = model.net.stats()
+    print(
+        f"model: {stats['places']} places, {stats['transitions']} "
+        f"transitions, PS={model.schedule_period}, "
+        f"{model.total_instances} instances"
+    )
+
+    # 3. pre-runtime schedule synthesis --------------------------------
+    result = find_schedule(model)
+    assert result.feasible, "quickstart set must be schedulable"
+    print(
+        f"search: {result.stats.states_visited} states visited "
+        f"(minimum {result.minimum_firings}), "
+        f"{result.stats.elapsed_seconds * 1000:.1f} ms"
+    )
+
+    # 4. the schedule table (paper Fig. 8 format) ----------------------
+    schedule = schedule_from_result(model, result)
+    print()
+    print(render_paper_style(schedule.items, short_labels=False))
+    print()
+
+    # 5. scheduled C code ----------------------------------------------
+    project = generate_project(model, schedule, target="hostsim")
+    print(f"generated files: {', '.join(sorted(project.files))}")
+
+    # 6. execute on the simulated dispatcher ---------------------------
+    machine_result = run_schedule(model, schedule)
+    violations = verify_trace(model, machine_result)
+    print(machine_result.trace.summary())
+    print(
+        "trace verification:",
+        "OK — every instance met release, WCET, deadline, precedence"
+        if not violations
+        else violations,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""ezRealtime reproduction: embedded hard real-time software synthesis.
+
+Reproduction of *"ezRealtime: A Domain-Specific Modeling Tool for
+Embedded Hard Real-Time Software Synthesis"* (Cruz, Barreto, Cordeiro,
+Maciel — DATE 2008): a tool chain that models periodic hard real-time
+task sets as time Petri nets built from composition blocks, synthesises
+a feasible pre-runtime schedule by depth-first search over the timed
+state space, and generates scheduled C code (schedule table, dispatcher
+and timer interrupt handler).
+
+Typical use::
+
+    from repro import (
+        SpecBuilder, compose, find_schedule, schedule_from_result,
+        generate_project,
+    )
+
+    spec = (
+        SpecBuilder("demo")
+        .processor("proc0")
+        .task("sense", computation=2, deadline=10, period=20)
+        .task("act", computation=3, deadline=20, period=20)
+        .precedence("sense", "act")
+        .build()
+    )
+    model = compose(spec)
+    result = find_schedule(model)
+    schedule = schedule_from_result(model, result)
+    project = generate_project(model, schedule, target="hostsim")
+
+Subpackages: :mod:`repro.tpn` (the formalism), :mod:`repro.spec`
+(metamodel + DSL), :mod:`repro.blocks` (model composition),
+:mod:`repro.pnml` (interchange), :mod:`repro.scheduler` (synthesis +
+baselines), :mod:`repro.codegen` (C emission), :mod:`repro.sim`
+(dispatcher machine), :mod:`repro.analysis` (schedulability theory and
+reports).
+"""
+
+from repro.blocks import BlockStyle, ComposedModel, ComposerOptions, compose
+from repro.codegen import GeneratedProject, generate_project
+from repro.errors import (
+    CodeGenError,
+    DSLError,
+    EzRealtimeError,
+    InfeasibleScheduleError,
+    NetConstructionError,
+    PNMLError,
+    SchedulingError,
+    SimulationError,
+    SpecificationError,
+    TraceVerificationError,
+)
+from repro.scheduler import (
+    SchedulerConfig,
+    SchedulerResult,
+    TaskLevelSchedule,
+    find_schedule,
+    require_schedule,
+    schedule_from_result,
+    simulate_runtime,
+)
+from repro.sim import DispatcherMachine, run_schedule, verify_trace
+from repro.spec import (
+    EzRTSpec,
+    SchedulingType,
+    SpecBuilder,
+    Task,
+    fig3_precedence,
+    fig4_exclusion,
+    fig8_preemptive,
+    mine_pump,
+)
+from repro.tpn import TimeInterval, TimePetriNet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockStyle",
+    "CodeGenError",
+    "ComposedModel",
+    "ComposerOptions",
+    "DSLError",
+    "DispatcherMachine",
+    "EzRTSpec",
+    "EzRealtimeError",
+    "GeneratedProject",
+    "InfeasibleScheduleError",
+    "NetConstructionError",
+    "PNMLError",
+    "SchedulerConfig",
+    "SchedulerResult",
+    "SchedulingError",
+    "SchedulingType",
+    "SimulationError",
+    "SpecBuilder",
+    "SpecificationError",
+    "Task",
+    "TaskLevelSchedule",
+    "TimeInterval",
+    "TimePetriNet",
+    "TraceVerificationError",
+    "__version__",
+    "compose",
+    "fig3_precedence",
+    "fig4_exclusion",
+    "fig8_preemptive",
+    "find_schedule",
+    "generate_project",
+    "mine_pump",
+    "require_schedule",
+    "run_schedule",
+    "schedule_from_result",
+    "simulate_runtime",
+    "verify_trace",
+]

@@ -1,0 +1,50 @@
+"""Schedulability analysis, Gantt rendering and reporting."""
+
+from repro.analysis.demand import DemandCheck, demand_bound, edf_feasible
+from repro.analysis.energy import (
+    EnergyReport,
+    energy_report,
+    max_tolerable_overhead,
+)
+from repro.analysis.gantt import render_gantt, render_instance_table
+from repro.analysis.report import (
+    full_report,
+    schedule_report,
+    search_report,
+    spec_report,
+)
+from repro.analysis.response_time import (
+    ResponseTimeResult,
+    response_time_analysis,
+)
+from repro.analysis.utilization import (
+    breakdown,
+    liu_layland_bound,
+    necessary_feasible,
+    passes_hyperbolic,
+    passes_liu_layland,
+    total_utilization,
+)
+
+__all__ = [
+    "DemandCheck",
+    "EnergyReport",
+    "ResponseTimeResult",
+    "breakdown",
+    "demand_bound",
+    "edf_feasible",
+    "energy_report",
+    "full_report",
+    "liu_layland_bound",
+    "max_tolerable_overhead",
+    "necessary_feasible",
+    "passes_hyperbolic",
+    "passes_liu_layland",
+    "render_gantt",
+    "render_instance_table",
+    "response_time_analysis",
+    "schedule_report",
+    "search_report",
+    "spec_report",
+    "total_utilization",
+]

@@ -1,0 +1,110 @@
+"""Energy accounting over synthesised schedules.
+
+The Fig. 5 metamodel carries an ``energy`` annotation per task (the
+DSL's ``<power>`` element), which the paper stores but never evaluates.
+This module gives it the obvious semantics — the task draws ``energy``
+power units while executing — and accounts a schedule's consumption:
+
+* per-task and total energy over one schedule period;
+* average power (energy / PS) and peak power (the maximum over the
+  timeline, which for a mono-processor is just the largest per-task
+  power that actually runs);
+* an idle-power term for the gaps, so duty-cycling effects of
+  different schedules are visible.
+
+This is deliberately simple bookkeeping (no DVFS); it exists so that
+specifications using the metamodel's energy field get something
+measurable out of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blocks.composer import ComposedModel
+from repro.scheduler.schedule import TaskLevelSchedule
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting of one schedule period."""
+
+    per_task: dict[str, int]
+    busy_energy: int
+    idle_energy: int
+    schedule_period: int
+
+    @property
+    def total(self) -> int:
+        return self.busy_energy + self.idle_energy
+
+    @property
+    def average_power(self) -> float:
+        """Mean power over the schedule period."""
+        if self.schedule_period == 0:
+            return 0.0
+        return self.total / self.schedule_period
+
+    def __str__(self) -> str:
+        rows = ", ".join(
+            f"{task}={energy}"
+            for task, energy in sorted(self.per_task.items())
+        )
+        return (
+            f"energy over PS={self.schedule_period}: total {self.total} "
+            f"(busy {self.busy_energy}, idle {self.idle_energy}); "
+            f"avg power {self.average_power:.3f}; per task: {rows}"
+        )
+
+
+def energy_report(
+    model: ComposedModel,
+    schedule: TaskLevelSchedule,
+    idle_power: int = 0,
+) -> EnergyReport:
+    """Account the energy a schedule draws over one schedule period.
+
+    Each executed time unit of task ``t`` costs ``t.energy`` units;
+    idle time costs ``idle_power`` per unit.
+    """
+    power = {t.name: t.energy for t in model.spec.tasks}
+    per_task: dict[str, int] = {name: 0 for name in power}
+    for segment in schedule.segments:
+        per_task[segment.task] += power[segment.task] * (
+            segment.duration
+        )
+    busy_energy = sum(per_task.values())
+    idle_units = max(0, model.schedule_period - schedule.busy_time())
+    return EnergyReport(
+        per_task=per_task,
+        busy_energy=busy_energy,
+        idle_energy=idle_units * idle_power,
+        schedule_period=model.schedule_period,
+    )
+
+
+def max_tolerable_overhead(
+    model: ComposedModel,
+    schedule: TaskLevelSchedule,
+    limit: int = 64,
+) -> int:
+    """Largest per-dispatch overhead the schedule absorbs untouched.
+
+    The ``dispOveh`` flag of the metamodel flags dispatcher-overhead
+    awareness; this helper quantifies it for a concrete table by
+    executing it on the dispatcher machine with increasing overhead
+    until the trace verifier reports a violation.  Returns the largest
+    overhead with a clean trace (0 when even overhead 1 breaks it).
+    """
+    from repro.sim.machine import run_schedule
+    from repro.sim.verifier import verify_trace
+
+    tolerated = 0
+    for overhead in range(1, limit + 1):
+        result = run_schedule(
+            model, schedule, dispatch_overhead=overhead
+        )
+        if result.errors or verify_trace(model, result):
+            break
+        tolerated = overhead
+    return tolerated

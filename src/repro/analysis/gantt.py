@@ -1,0 +1,98 @@
+"""ASCII Gantt rendering of schedules and traces.
+
+The paper's GUI displays schedules graphically; the terminal equivalent
+here draws one row per task over a time window, marking executing units,
+releases and deadlines — handy in examples, reports and while debugging
+a surprising schedule.
+"""
+
+from __future__ import annotations
+
+from repro.blocks.composer import ComposedModel
+from repro.scheduler.schedule import ExecutionSegment
+
+
+def render_gantt(
+    model: ComposedModel,
+    segments: list[ExecutionSegment],
+    start: int = 0,
+    end: int | None = None,
+    width: int = 72,
+) -> str:
+    """Draw the schedule as one character row per task.
+
+    Each column is ``max(1, span/width)`` time units.  Cell glyphs:
+    ``#`` executing (``+`` for a partially covered scaled cell), ``.``
+    idle.  A header rules the time axis.
+    """
+    spec = model.spec
+    stop = end if end is not None else model.schedule_period
+    if stop <= start:
+        raise ValueError("empty time window")
+    span = stop - start
+    scale = max(1, -(-span // width))
+    columns = -(-span // scale)
+
+    lines = [
+        f"Gantt [{start}, {stop}) — one column = {scale} time unit(s)"
+    ]
+    axis = []
+    for col in range(columns):
+        t = start + col * scale
+        axis.append("|" if t % (10 * scale) == 0 else "-")
+    name_width = max(len(task.name) for task in spec.tasks)
+    lines.append(" " * (name_width + 2) + "".join(axis))
+
+    for task in spec.tasks:
+        cells = []
+        for col in range(columns):
+            lo = start + col * scale
+            hi = min(lo + scale, stop)
+            covered = 0
+            for segment in segments:
+                if segment.task != task.name:
+                    continue
+                covered += max(
+                    0, min(segment.end, hi) - max(segment.start, lo)
+                )
+            if covered == hi - lo:
+                cells.append("#")
+            elif covered > 0:
+                cells.append("+")
+            else:
+                cells.append(".")
+        lines.append(f"{task.name:<{name_width}}  " + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_instance_table(
+    model: ComposedModel,
+    segments: list[ExecutionSegment],
+    limit: int | None = 20,
+) -> str:
+    """Tabulate instances: arrival, window, segments, response time."""
+    spec = model.spec
+    rows = ["task      inst  arrival  deadline  segments  response"]
+    count = 0
+    for task in spec.tasks:
+        for k in range(1, model.instances[task.name] + 1):
+            segs = [
+                s
+                for s in segments
+                if s.task == task.name and s.instance == k
+            ]
+            if not segs:
+                continue
+            arrival = task.phase + (k - 1) * task.period
+            spans = ",".join(f"{s.start}-{s.end}" for s in segs)
+            response = segs[-1].end - arrival
+            rows.append(
+                f"{task.name:<9} {k:>4}  {arrival:>7}  "
+                f"{arrival + task.deadline:>8}  {spans:<9} "
+                f"{response:>8}"
+            )
+            count += 1
+            if limit is not None and count >= limit:
+                rows.append(f"... (limited to {limit} instances)")
+                return "\n".join(rows)
+    return "\n".join(rows)

@@ -1,0 +1,102 @@
+"""Textual reporting of the whole pipeline outcome.
+
+``full_report`` assembles what the paper's Section 5 narrates for the
+mine pump — specification summary, model size, search statistics
+(instances, states visited vs. minimum, time), schedule quality and
+utilisation analysis — into one printable document.  The CLI's
+``report`` command and several examples use it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.gantt import render_gantt
+from repro.analysis.utilization import (
+    liu_layland_bound,
+    total_utilization,
+)
+from repro.blocks.composer import ComposedModel
+from repro.scheduler.result import SchedulerResult
+from repro.scheduler.schedule import TaskLevelSchedule
+from repro.spec.timing import check_harmonic
+
+
+def spec_report(model: ComposedModel) -> str:
+    """Specification and model-size summary."""
+    spec = model.spec
+    stats = model.net.stats()
+    lines = [
+        f"specification    : {spec.name}",
+        f"tasks            : {len(spec.tasks)} "
+        f"({sum(t.is_preemptive for t in spec.tasks)} preemptive)",
+        f"relations        : {len(spec.precedence_pairs())} precedence, "
+        f"{len(spec.exclusion_pairs())} exclusion, "
+        f"{len(spec.messages)} message(s)",
+        f"schedule period  : {model.schedule_period}"
+        f"{' (harmonic)' if check_harmonic([t.period for t in spec.tasks]) else ''}",
+        f"task instances   : {model.total_instances}",
+        f"utilisation      : {total_utilization(spec):.3f} "
+        f"(RM bound {liu_layland_bound(len(spec.tasks)):.3f})",
+        f"TPN model        : {stats['places']} places, "
+        f"{stats['transitions']} transitions, {stats['arcs']} arcs",
+        f"block style      : {model.options.style.value}, "
+        f"priorities {model.options.priority_policy}",
+    ]
+    return "\n".join(lines)
+
+
+def search_report(result: SchedulerResult) -> str:
+    """Search outcome in the paper's Section-5 format."""
+    return result.summary()
+
+
+def schedule_report(
+    model: ComposedModel,
+    schedule: TaskLevelSchedule,
+    gantt: bool = False,
+    gantt_window: int | None = None,
+) -> str:
+    """Schedule quality: makespan, load, responses, optional Gantt."""
+    busy = schedule.busy_time()
+    lines = [
+        f"table entries    : {len(schedule.items)}",
+        f"makespan         : {schedule.makespan}",
+        f"processor busy   : {busy} "
+        f"({100.0 * busy / model.schedule_period:.1f}% of PS)",
+    ]
+    responses = schedule.response_times(model)
+    worst = ", ".join(
+        f"{task}={value}" for task, value in sorted(responses.items())
+    )
+    lines.append(f"worst responses  : {worst}")
+    if gantt:
+        window = gantt_window or min(model.schedule_period, 720)
+        lines.append("")
+        lines.append(
+            render_gantt(model, schedule.segments, 0, window)
+        )
+    return "\n".join(lines)
+
+
+def full_report(
+    model: ComposedModel,
+    result: SchedulerResult,
+    schedule: TaskLevelSchedule | None = None,
+    gantt: bool = False,
+) -> str:
+    """The complete pipeline report."""
+    sections = [
+        "== specification ==",
+        spec_report(model),
+        "",
+        "== pre-runtime search ==",
+        search_report(result),
+    ]
+    if schedule is not None:
+        sections.extend(
+            [
+                "",
+                "== synthesised schedule ==",
+                schedule_report(model, schedule, gantt=gantt),
+            ]
+        )
+    return "\n".join(sections)

@@ -1,0 +1,60 @@
+"""Utilisation-based schedulability bounds.
+
+Classical necessary/sufficient tests used to sanity-check
+specifications before the (exact, but exponential) pre-runtime search
+runs, and to annotate reports:
+
+* total utilisation ``U = Σ c_i / p_i`` — ``U > m`` (m processors) is
+  always infeasible;
+* the Liu–Layland bound ``U ≤ n(2^{1/n} − 1)`` — sufficient for
+  rate-monotonic scheduling of implicit-deadline preemptive sets;
+* the hyperbolic bound ``Π (U_i + 1) ≤ 2`` — a tighter RM sufficiency
+  test (Bini/Buttazzo).
+
+These are *baseline theory*: the pre-runtime scheduler neither needs
+nor is limited by them; the benches show it scheduling sets far above
+the RM bounds (the mine pump is non-preemptive, where none of these
+suffice).
+"""
+
+from __future__ import annotations
+
+from repro.spec.model import EzRTSpec
+
+
+def total_utilization(spec: EzRTSpec) -> float:
+    """``U = Σ c_i / p_i`` over all tasks."""
+    return sum(task.utilization for task in spec.tasks)
+
+
+def liu_layland_bound(n: int) -> float:
+    """The RM utilisation bound for ``n`` tasks; ``ln 2`` as n → ∞."""
+    if n < 1:
+        raise ValueError("task count must be >= 1")
+    return n * (2 ** (1 / n) - 1)
+
+
+def passes_liu_layland(spec: EzRTSpec) -> bool:
+    """Sufficient RM test (implicit-deadline preemptive sets only)."""
+    return total_utilization(spec) <= liu_layland_bound(len(spec.tasks))
+
+
+def passes_hyperbolic(spec: EzRTSpec) -> bool:
+    """Bini–Buttazzo hyperbolic RM bound: ``Π (U_i + 1) ≤ 2``."""
+    product = 1.0
+    for task in spec.tasks:
+        product *= task.utilization + 1.0
+    return product <= 2.0
+
+
+def necessary_feasible(spec: EzRTSpec, processors: int = 1) -> bool:
+    """Necessary condition for any scheduler: ``U ≤ m``."""
+    return total_utilization(spec) <= processors + 1e-12
+
+
+def breakdown(spec: EzRTSpec) -> dict[str, float]:
+    """Report row: per-task and total utilisation plus the RM bounds."""
+    rows = {task.name: task.utilization for task in spec.tasks}
+    rows["total"] = total_utilization(spec)
+    rows["liu-layland-bound"] = liu_layland_bound(len(spec.tasks))
+    return rows

@@ -1,0 +1,211 @@
+"""Inter-task relation modelling (paper Section 3.3.2, Figs. 3 and 4).
+
+*Precedence* (``ti PRECEDES tj``): a place ``pprec_i_j`` receives one
+token from every completion of ``ti`` and is consumed once per instance
+of ``tj`` before ``tj`` may start — Fig. 3's structure, with the token
+routed into ``tj``'s start *gate* so that the release window of ``tj``
+stays anchored at its arrival (the deadline-checking block still
+measures from arrival, so lateness is always caught).
+
+*Exclusion* (``ti EXCLUDES tj``, symmetric): "the modeling method adds a
+single place shared by the two tasks.  This place has one marking and it
+is pre-condition for the execution of the two tasks" — ``pexcl_i_j``
+here.  Each task acquires the token through its gate transition before
+any computation unit is granted and returns it on completion, so a
+preemptive partner cannot interleave with the holder (Fig. 4's
+``texcl``/``pexcl`` structure).  A task participating in several
+exclusions acquires *all* its tokens atomically in one gate firing,
+which rules out lock-order deadlocks.
+
+*Messages*: an inter-task communication becomes a non-preemptive
+transfer block on its bus resource — bus grant ``tgm [gb, gb]`` followed
+by transfer ``tcm [cm, cm]`` — fed by the sender's completion and gating
+the receiver like a precedence token.
+
+The *gate* (``tl_<task>``, interval ``[0,0]``) is created lazily the
+first time a task needs one: the release's output is rerouted through
+``pwl_<task>`` and the gate re-emits the grant tokens (``c`` unit tokens
+for preemptive tasks).  Tasks without relations keep the plain
+release→grant wiring and their 4-firing instance cost.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetConstructionError
+from repro.spec.model import Message, Task
+from repro.blocks.blocks import DECISION_PRIORITY, TaskNodes, sanitize
+from repro.tpn.interval import TimeInterval
+from repro.tpn.net import (
+    ROLE_EXCLUSION,
+    ROLE_MESSAGE,
+    ROLE_PRECEDENCE,
+    TimePetriNet,
+)
+
+#: Role tag of lazily created gate transitions.
+ROLE_GATE = "gate"
+
+
+def ensure_gate(
+    net: TimePetriNet, nodes: TaskNodes, task: Task
+) -> str:
+    """Create (or fetch) the start gate of a task; returns its name.
+
+    Rewires ``t_r → p_wg`` into ``t_r → p_wl → tl → p_wg`` so relation
+    tokens can be attached as extra gate inputs.  Idempotent.
+    """
+    if task.name != nodes.task:
+        raise NetConstructionError(
+            f"node handles belong to {nodes.task!r}, not {task.name!r}"
+        )
+    x = sanitize(task.name)
+    gate_name = f"tl_{x}"
+    if net.has_transition(gate_name):
+        return gate_name
+    grant_tokens = task.computation if task.is_preemptive else 1
+    net.remove_arc(nodes.release_t, nodes.wait_grant)
+    wait_lock = net.add_place(
+        f"pwl_{x}", task=task.name, label=f"wait lock {x}"
+    ).name
+    net.add_arc(nodes.release_t, wait_lock)
+    net.add_transition(
+        gate_name,
+        interval=TimeInterval.zero(),
+        priority=DECISION_PRIORITY,
+        role=ROLE_GATE,
+        task=task.name,
+        label=f"gate {x}",
+    )
+    net.add_arc(wait_lock, gate_name)
+    net.add_arc(gate_name, nodes.wait_grant, weight=grant_tokens)
+    nodes.gate_input = wait_lock
+    return gate_name
+
+
+def exclusion_place_name(task_a: str, task_b: str) -> str:
+    """Canonical (order-independent) name of an exclusion place."""
+    first, second = sorted((sanitize(task_a), sanitize(task_b)))
+    return f"pexcl_{first}_{second}"
+
+
+def precedence_place_name(before: str, after: str) -> str:
+    """Canonical name of a precedence place (direction matters)."""
+    return f"pprec_{sanitize(before)}_{sanitize(after)}"
+
+
+def add_exclusion_relation(
+    net: TimePetriNet,
+    nodes_a: TaskNodes,
+    task_a: Task,
+    nodes_b: TaskNodes,
+    task_b: Task,
+) -> str:
+    """Model ``task_a EXCLUDES task_b`` (symmetric); returns the place.
+
+    Both tasks' gates consume the shared single-token place; both
+    finishers return it.
+    """
+    place = exclusion_place_name(task_a.name, task_b.name)
+    if net.has_place(place):
+        raise NetConstructionError(
+            f"exclusion {task_a.name!r}/{task_b.name!r} already modelled"
+        )
+    net.add_place(
+        place,
+        marking=1,
+        role=ROLE_EXCLUSION,
+        label=f"exclusion {task_a.name}/{task_b.name}",
+    )
+    for nodes, task in ((nodes_a, task_a), (nodes_b, task_b)):
+        gate = ensure_gate(net, nodes, task)
+        net.add_arc(place, gate)
+        net.add_arc(nodes.finisher, place)
+    return place
+
+
+def add_precedence_relation(
+    net: TimePetriNet,
+    nodes_before: TaskNodes,
+    nodes_after: TaskNodes,
+    task_after: Task,
+) -> str:
+    """Model ``before PRECEDES after``; returns the precedence place."""
+    place = precedence_place_name(nodes_before.task, nodes_after.task)
+    if net.has_place(place):
+        raise NetConstructionError(
+            f"precedence {nodes_before.task!r} -> {nodes_after.task!r} "
+            "already modelled"
+        )
+    net.add_place(
+        place,
+        role=ROLE_PRECEDENCE,
+        label=f"{nodes_before.task} precedes {nodes_after.task}",
+    )
+    net.add_arc(nodes_before.finisher, place)
+    gate = ensure_gate(net, nodes_after, task_after)
+    net.add_arc(place, gate)
+    return place
+
+
+def add_message_relation(
+    net: TimePetriNet,
+    message: Message,
+    nodes_sender: TaskNodes,
+    bus_place: str,
+    nodes_receiver: TaskNodes | None = None,
+    task_receiver: Task | None = None,
+) -> dict[str, str]:
+    """Model an inter-task message transfer block; returns node names.
+
+    The sender's completion marks ``pwm`` (message ready); the bus grant
+    ``tgm [gb, gb]`` acquires the bus; the transfer ``tcm [cm, cm]``
+    releases it and marks ``pdel`` (delivered).  When the message
+    precedes a receiver task, the delivered token gates that task;
+    otherwise it accumulates and the composer drains it at the join.
+    """
+    m = sanitize(message.name)
+    ready = net.add_place(
+        f"pwm_{m}", role=ROLE_MESSAGE, label=f"message ready {m}"
+    ).name
+    transferring = net.add_place(
+        f"pwcm_{m}", role=ROLE_MESSAGE, label=f"transferring {m}"
+    ).name
+    delivered = net.add_place(
+        f"pdel_{m}", role=ROLE_MESSAGE, label=f"delivered {m}"
+    ).name
+    grant = net.add_transition(
+        f"tgm_{m}",
+        interval=TimeInterval.point(message.grant_bus),
+        priority=DECISION_PRIORITY,
+        role=ROLE_MESSAGE,
+        label=f"bus grant {m}",
+    ).name
+    transfer = net.add_transition(
+        f"tcm_{m}",
+        interval=TimeInterval.point(message.communication),
+        priority=DECISION_PRIORITY,
+        role=ROLE_MESSAGE,
+        label=f"transfer {m}",
+    ).name
+    net.add_arc(nodes_sender.finisher, ready)
+    net.add_arc(ready, grant)
+    net.add_arc(bus_place, grant)
+    net.add_arc(grant, transferring)
+    net.add_arc(transferring, transfer)
+    net.add_arc(transfer, bus_place)
+    net.add_arc(transfer, delivered)
+    if nodes_receiver is not None:
+        if task_receiver is None:
+            raise NetConstructionError(
+                f"message {message.name!r}: receiver nodes given "
+                "without the receiver task"
+            )
+        gate = ensure_gate(net, nodes_receiver, task_receiver)
+        net.add_arc(delivered, gate)
+    return {
+        "ready": ready,
+        "transferring": transferring,
+        "delivered": delivered,
+        "grant": grant,
+        "transfer": transfer,
+    }

@@ -1,0 +1,277 @@
+"""Command-line interface: the tool pipeline of Fig. 6 in one binary.
+
+Subcommands mirror the stages of the ezRealtime architecture:
+
+* ``ezrt validate spec.xml`` — parse and validate an ez-spec document;
+* ``ezrt compile spec.xml -o model.pnml`` — translate the spec to its
+  time Petri net and export PNML;
+* ``ezrt schedule spec.xml`` — synthesise a pre-runtime schedule and
+  print the Section-5 style report;
+* ``ezrt codegen spec.xml -o out/ --target hostsim`` — full synthesis:
+  schedule + generated C project;
+* ``ezrt simulate spec.xml`` — execute the synthesised table on the
+  dispatcher machine and verify the trace;
+* ``ezrt examples`` — list the built-in case studies (usable wherever
+  a spec file is expected, via ``@name``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import EzRealtimeError
+from repro.analysis import full_report
+from repro.blocks import BlockStyle, ComposerOptions, compose
+from repro.codegen import generate_project
+from repro.pnml import save as pnml_save
+from repro.scheduler import (
+    SchedulerConfig,
+    find_schedule,
+    schedule_from_result,
+)
+from repro.sim import run_schedule, verify_trace
+from repro.spec import load as dsl_load
+from repro.spec import paper_examples, save as dsl_save
+from repro.spec.validation import validate_spec
+
+
+def _load_spec(ref: str):
+    """Load a spec from a file path or a built-in ``@name``."""
+    if ref.startswith("@"):
+        examples = paper_examples()
+        name = ref[1:]
+        if name not in examples:
+            raise EzRealtimeError(
+                f"unknown built-in spec {name!r}; available: "
+                f"{sorted(examples)}"
+            )
+        return examples[name]
+    return dsl_load(ref)
+
+
+def _composer_options(args) -> ComposerOptions:
+    return ComposerOptions(
+        style=BlockStyle(args.style),
+        priority_policy=args.priorities,
+    )
+
+
+def _scheduler_config(args) -> SchedulerConfig:
+    return SchedulerConfig(
+        priority_mode=args.priority_mode,
+        delay_mode=args.delay_mode,
+        partial_order=not args.no_partial_order,
+        max_states=args.max_states,
+    )
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--style",
+        choices=[s.value for s in BlockStyle],
+        default="compact",
+        help="block library flavour (default: compact)",
+    )
+    parser.add_argument(
+        "--priorities",
+        choices=("dm", "rm", "lex", "none"),
+        default="dm",
+        help="priority policy for decision transitions (default: dm)",
+    )
+
+
+def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--priority-mode",
+        choices=("ordered", "strict"),
+        default="ordered",
+        help="candidate priority handling (default: ordered)",
+    )
+    parser.add_argument(
+        "--delay-mode",
+        choices=("earliest", "extremes", "full"),
+        default="earliest",
+        help="firing delays explored (default: earliest)",
+    )
+    parser.add_argument(
+        "--no-partial-order",
+        action="store_true",
+        help="disable the partial-order state-space reduction",
+    )
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=2_000_000,
+        help="state budget for the search",
+    )
+
+
+def _cmd_validate(args) -> int:
+    spec = _load_spec(args.spec)
+    problems = validate_spec(spec)
+    if problems:
+        print(f"specification {spec.name!r} is INVALID:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(
+        f"specification {spec.name!r} is valid: {len(spec.tasks)} "
+        f"task(s), {len(spec.messages)} message(s)"
+    )
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    spec = _load_spec(args.spec)
+    model = compose(spec, _composer_options(args))
+    pnml_save(model.net, args.output)
+    stats = model.net.stats()
+    print(
+        f"wrote {args.output}: {stats['places']} places, "
+        f"{stats['transitions']} transitions, {stats['arcs']} arcs "
+        f"(PS={model.schedule_period}, "
+        f"{model.total_instances} instances)"
+    )
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    spec = _load_spec(args.spec)
+    model = compose(spec, _composer_options(args))
+    result = find_schedule(model, _scheduler_config(args))
+    if not result.feasible:
+        print(full_report(model, result))
+        return 1
+    schedule = schedule_from_result(model, result)
+    print(full_report(model, result, schedule, gantt=args.gantt))
+    return 0
+
+
+def _cmd_codegen(args) -> int:
+    spec = _load_spec(args.spec)
+    model = compose(spec, _composer_options(args))
+    result = find_schedule(model, _scheduler_config(args))
+    if not result.feasible:
+        print("no feasible schedule; cannot generate code")
+        return 1
+    schedule = schedule_from_result(model, result)
+    project = generate_project(model, schedule, args.target)
+    paths = project.write(args.output)
+    print(f"generated {len(paths)} file(s) in {args.output}:")
+    for path in paths:
+        print(f"  {path}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    spec = _load_spec(args.spec)
+    model = compose(spec, _composer_options(args))
+    result = find_schedule(model, _scheduler_config(args))
+    if not result.feasible:
+        print("no feasible schedule; nothing to simulate")
+        return 1
+    schedule = schedule_from_result(model, result)
+    machine_result = run_schedule(
+        model, schedule, dispatch_overhead=args.overhead
+    )
+    violations = verify_trace(model, machine_result)
+    print(machine_result.trace.summary())
+    if violations:
+        print("trace verification FAILED:")
+        for violation in violations[:20]:
+            print(f"  - {violation}")
+        return 1
+    print(
+        f"trace verified: {len(machine_result.completions)} instance "
+        "completions, all constraints met"
+    )
+    return 0
+
+
+def _cmd_export(args) -> int:
+    spec = _load_spec(args.spec)
+    dsl_save(spec, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_examples(_args) -> int:
+    print("built-in case studies (use as @name):")
+    for name, spec in paper_examples().items():
+        print(
+            f"  @{name:<10} {len(spec.tasks)} tasks — {spec.name}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ezrt",
+        description=(
+            "ezRealtime reproduction: embedded hard real-time software "
+            "synthesis from time Petri net models (DATE 2008)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="validate an ez-spec document")
+    p.add_argument("spec", help="spec file or @builtin")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("compile", help="translate spec to PNML")
+    p.add_argument("spec")
+    p.add_argument("-o", "--output", default="model.pnml")
+    _add_model_arguments(p)
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("schedule", help="synthesise a schedule")
+    p.add_argument("spec")
+    p.add_argument("--gantt", action="store_true")
+    _add_model_arguments(p)
+    _add_search_arguments(p)
+    p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser("codegen", help="generate scheduled C code")
+    p.add_argument("spec")
+    p.add_argument("-o", "--output", default="generated")
+    p.add_argument(
+        "--target",
+        default="hostsim",
+        choices=("hostsim", "8051", "arm9", "m68k", "x86"),
+    )
+    _add_model_arguments(p)
+    _add_search_arguments(p)
+    p.set_defaults(func=_cmd_codegen)
+
+    p = sub.add_parser(
+        "simulate", help="run the table on the dispatcher machine"
+    )
+    p.add_argument("spec")
+    p.add_argument("--overhead", type=int, default=0)
+    _add_model_arguments(p)
+    _add_search_arguments(p)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("export", help="write a built-in spec as XML")
+    p.add_argument("spec")
+    p.add_argument("-o", "--output", default="spec.xml")
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("examples", help="list built-in case studies")
+    p.set_defaults(func=_cmd_examples)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except EzRealtimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Small C-source templating helpers.
+
+The paper's CodeGen engine used Ruby/ERB; here plain Python string
+helpers produce the same artefacts.  Nothing clever: banners, include
+guards, indentation and identifier sanitisation — enough to keep the
+emitters in the sibling modules readable.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import CodeGenError
+
+_IDENT_RE = re.compile(r"[^A-Za-z0-9_]")
+
+
+def c_identifier(name: str) -> str:
+    """Turn an arbitrary task/spec name into a valid C identifier."""
+    cleaned = _IDENT_RE.sub("_", name)
+    if not cleaned:
+        raise CodeGenError(f"cannot derive a C identifier from {name!r}")
+    if cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def banner(title: str, *lines: str) -> str:
+    """A boxed comment header placed at the top of generated files."""
+    body = [title, *lines]
+    width = max(len(line) for line in body) + 4
+    out = ["/*" + "*" * width]
+    for line in body:
+        out.append(f" * {line}")
+    out.append(" " + "*" * width + "*/")
+    return "\n".join(out)
+
+
+def include_guard(name: str, content: str) -> str:
+    """Wrap header content in a classic include guard."""
+    guard = f"EZRT_{c_identifier(name).upper()}_H"
+    return (
+        f"#ifndef {guard}\n#define {guard}\n\n{content}\n\n"
+        f"#endif /* {guard} */\n"
+    )
+
+
+def indent(text: str, levels: int = 1, width: int = 4) -> str:
+    """Indent every non-empty line of ``text``."""
+    pad = " " * (levels * width)
+    return "\n".join(
+        pad + line if line.strip() else line
+        for line in text.splitlines()
+    )
+
+
+def block_comment(text: str) -> str:
+    """A single- or multi-line ``/* ... */`` comment."""
+    lines = text.splitlines() or [""]
+    if len(lines) == 1:
+        return f"/* {lines[0]} */"
+    out = ["/*"]
+    out.extend(f" * {line}" for line in lines)
+    out.append(" */")
+    return "\n".join(out)

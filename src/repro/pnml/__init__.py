@@ -1,0 +1,16 @@
+"""PNML (ISO/IEC 15909-2) interchange for time Petri nets."""
+
+from repro.pnml.reader import load, loads
+from repro.pnml.schema import PNML_NS, PTNET_TYPE, TOOL_NAME, TOOL_VERSION
+from repro.pnml.writer import dumps, save
+
+__all__ = [
+    "PNML_NS",
+    "PTNET_TYPE",
+    "TOOL_NAME",
+    "TOOL_VERSION",
+    "dumps",
+    "load",
+    "loads",
+    "save",
+]

@@ -1,0 +1,165 @@
+"""PNML → time Petri net parsing.
+
+Reads documents written by :mod:`repro.pnml.writer` and, degrading
+gracefully, plain place/transition PNML from other tools (transitions
+then get the default ``[0, inf]`` interval so the untimed language is
+preserved).  Round-trip with the writer is lossless and property-tested
+in the suite.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.errors import PNMLError
+from repro.pnml.schema import TOOL_NAME
+from repro.tpn.interval import INF, TimeInterval
+from repro.tpn.net import TimePetriNet
+
+
+def _local(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]
+
+
+def _find_children(element: ET.Element, tag: str) -> list[ET.Element]:
+    return [child for child in element if _local(child.tag) == tag]
+
+
+def _find_child(element: ET.Element, tag: str) -> ET.Element | None:
+    children = _find_children(element, tag)
+    return children[0] if children else None
+
+
+def _text_of(element: ET.Element | None) -> str:
+    if element is None:
+        return ""
+    text_el = _find_child(element, "text")
+    if text_el is not None:
+        return (text_el.text or "").strip()
+    return (element.text or "").strip()
+
+
+def _tool_section(element: ET.Element) -> ET.Element | None:
+    for child in _find_children(element, "toolspecific"):
+        if child.get("tool") == TOOL_NAME:
+            return child
+    return None
+
+
+def loads(document: str) -> TimePetriNet:
+    """Parse a PNML document into a time Petri net."""
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise PNMLError(f"malformed PNML: {exc}") from exc
+    if _local(root.tag) != "pnml":
+        raise PNMLError(
+            f"expected <pnml> root, got <{_local(root.tag)}>"
+        )
+    net_el = _find_child(root, "net")
+    if net_el is None:
+        raise PNMLError("document contains no <net>")
+    name = _text_of(_find_child(net_el, "name")) or net_el.get(
+        "id", "net"
+    )
+    net = TimePetriNet(name)
+
+    # nodes may live directly under <net> or inside <page> elements
+    containers = [net_el] + _find_children(net_el, "page")
+    arcs: list[ET.Element] = []
+    for container in containers:
+        for element in container:
+            kind = _local(element.tag)
+            if kind == "place":
+                _parse_place(net, element)
+            elif kind == "transition":
+                _parse_transition(net, element)
+            elif kind == "arc":
+                arcs.append(element)
+    for element in arcs:
+        _parse_arc(net, element)
+
+    tool = _tool_section(net_el)
+    if tool is not None:
+        final: dict[str, int] = {}
+        for fm in _find_children(tool, "finalMarking"):
+            place = fm.get("idref")
+            if place is None or not net.has_place(place):
+                raise PNMLError(
+                    f"final marking references unknown place {place!r}"
+                )
+            final[place] = int(fm.get("tokens", "0"))
+        if final:
+            net.set_final_marking(final)
+    return net
+
+
+def _parse_place(net: TimePetriNet, element: ET.Element) -> None:
+    identifier = element.get("id")
+    if not identifier:
+        raise PNMLError("place without id")
+    label = _text_of(_find_child(element, "name")) or identifier
+    marking_text = _text_of(_find_child(element, "initialMarking"))
+    marking = int(marking_text) if marking_text else 0
+    role = None
+    task = None
+    tool = _tool_section(element)
+    if tool is not None:
+        role = _text_of(_find_child(tool, "role")) or None
+        task = _text_of(_find_child(tool, "task")) or None
+    net.add_place(
+        identifier, marking=marking, label=label, role=role, task=task
+    )
+
+
+def _parse_transition(net: TimePetriNet, element: ET.Element) -> None:
+    identifier = element.get("id")
+    if not identifier:
+        raise PNMLError("transition without id")
+    label = _text_of(_find_child(element, "name")) or identifier
+    interval = TimeInterval.unbounded(0)
+    priority = 0
+    role = None
+    task = None
+    code = None
+    tool = _tool_section(element)
+    if tool is not None:
+        interval_el = _find_child(tool, "interval")
+        if interval_el is not None:
+            eft = int(interval_el.get("eft", "0"))
+            lft_raw = interval_el.get("lft", "inf")
+            lft = INF if lft_raw == "inf" else int(lft_raw)
+            interval = TimeInterval(eft, lft)
+        priority_text = _text_of(_find_child(tool, "priority"))
+        if priority_text:
+            priority = int(priority_text)
+        role = _text_of(_find_child(tool, "role")) or None
+        task = _text_of(_find_child(tool, "task")) or None
+        code_el = _find_child(tool, "code")
+        if code_el is not None and code_el.text is not None:
+            code = code_el.text
+    net.add_transition(
+        identifier,
+        interval=interval,
+        priority=priority,
+        code=code,
+        label=label,
+        role=role,
+        task=task,
+    )
+
+
+def _parse_arc(net: TimePetriNet, element: ET.Element) -> None:
+    source = element.get("source")
+    target = element.get("target")
+    if not source or not target:
+        raise PNMLError("arc without source/target")
+    weight_text = _text_of(_find_child(element, "inscription"))
+    weight = int(weight_text) if weight_text else 1
+    net.add_arc(source, target, weight)
+
+
+def load(path: str) -> TimePetriNet:
+    """Read a ``.pnml`` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

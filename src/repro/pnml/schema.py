@@ -1,0 +1,28 @@
+"""PNML vocabulary shared by the reader and writer.
+
+ezRealtime "uses the International Standard ISO/IEC 15909-2 which
+defines a universal XML-based transfer syntax for Petri nets, namely
+PNML".  The structural part (places, transitions, arcs, markings,
+inscriptions) follows the standard place/transition-net grammar; the
+timed/extended attributes — static intervals, priorities, code
+assignments, roles, the desired final marking — ride in
+``<toolspecific>`` sections under the tool name ``ezrealtime``, which
+is the standard's extension mechanism for non-structural information.
+"""
+
+from __future__ import annotations
+
+#: PNML namespace (2009 grammar, the one the standard settled on).
+PNML_NS = "http://www.pnml.org/version-2009/grammar/pnml"
+
+#: Net type URI for place/transition nets.
+PTNET_TYPE = "http://www.pnml.org/version-2009/grammar/ptnet"
+
+#: Tool name/version used in <toolspecific> sections.
+TOOL_NAME = "ezrealtime"
+TOOL_VERSION = "1.0"
+
+
+def q(tag: str) -> str:
+    """Qualify a tag with the PNML namespace."""
+    return f"{{{PNML_NS}}}{tag}"

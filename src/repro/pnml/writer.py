@@ -1,0 +1,115 @@
+"""Time Petri net → PNML serialisation.
+
+Produces a standard-conforming PNML document: any PNML tool can read
+the untimed structure; ezRealtime-aware tools (and this package's
+reader) recover the full extended time Petri net — intervals,
+priorities, roles, task bindings, behavioural code and the desired
+final marking — from the ``<toolspecific>`` sections.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from xml.dom import minidom
+
+from repro.pnml.schema import PNML_NS, PTNET_TYPE, TOOL_NAME, TOOL_VERSION
+from repro.tpn.interval import INF
+from repro.tpn.net import TimePetriNet
+
+
+def _toolspecific(parent: ET.Element) -> ET.Element:
+    element = ET.SubElement(parent, "toolspecific")
+    element.set("tool", TOOL_NAME)
+    element.set("version", TOOL_VERSION)
+    return element
+
+
+def _name(parent: ET.Element, text: str) -> None:
+    name = ET.SubElement(parent, "name")
+    ET.SubElement(name, "text").text = text
+
+
+def dumps(net: TimePetriNet, pretty: bool = True) -> str:
+    """Serialise a net to a PNML document string."""
+    ET.register_namespace("", PNML_NS)
+    root = ET.Element(f"{{{PNML_NS}}}pnml")
+    net_el = ET.SubElement(root, "net")
+    net_el.set("id", net.name or "net0")
+    net_el.set("type", PTNET_TYPE)
+    _name(net_el, net.name)
+
+    if net.final_marking:
+        tool = _toolspecific(net_el)
+        for place, tokens in net.final_marking.items():
+            fm = ET.SubElement(tool, "finalMarking")
+            fm.set("idref", place)
+            fm.set("tokens", str(tokens))
+
+    page = ET.SubElement(net_el, "page")
+    page.set("id", "page0")
+
+    for place in net.places:
+        el = ET.SubElement(page, "place")
+        el.set("id", place.name)
+        _name(el, place.label)
+        if place.marking:
+            marking = ET.SubElement(el, "initialMarking")
+            ET.SubElement(marking, "text").text = str(place.marking)
+        if place.role or place.task:
+            tool = _toolspecific(el)
+            if place.role:
+                ET.SubElement(tool, "role").text = place.role
+            if place.task:
+                ET.SubElement(tool, "task").text = place.task
+
+    for transition in net.transitions:
+        el = ET.SubElement(page, "transition")
+        el.set("id", transition.name)
+        _name(el, transition.label)
+        tool = _toolspecific(el)
+        interval = ET.SubElement(tool, "interval")
+        interval.set("eft", str(transition.interval.eft))
+        interval.set(
+            "lft",
+            "inf"
+            if transition.interval.lft == INF
+            else str(int(transition.interval.lft)),
+        )
+        if transition.priority:
+            ET.SubElement(tool, "priority").text = str(
+                transition.priority
+            )
+        if transition.role:
+            ET.SubElement(tool, "role").text = transition.role
+        if transition.task:
+            ET.SubElement(tool, "task").text = transition.task
+        if transition.code is not None:
+            ET.SubElement(tool, "code").text = transition.code
+
+    counter = 0
+    for arc in net.arcs():
+        el = ET.SubElement(page, "arc")
+        el.set("id", f"arc{counter}")
+        el.set("source", arc.source)
+        el.set("target", arc.target)
+        if arc.weight != 1:
+            inscription = ET.SubElement(el, "inscription")
+            ET.SubElement(inscription, "text").text = str(arc.weight)
+        counter += 1
+
+    raw = ET.tostring(root, encoding="unicode")
+    document = '<?xml version="1.0" encoding="UTF-8"?>\n' + raw
+    if pretty:
+        parsed = minidom.parseString(document)
+        document = "\n".join(
+            line
+            for line in parsed.toprettyxml(indent="  ").splitlines()
+            if line.strip()
+        )
+    return document
+
+
+def save(net: TimePetriNet, path: str, pretty: bool = True) -> None:
+    """Write a net to a ``.pnml`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(net, pretty=pretty))

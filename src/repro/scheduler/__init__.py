@@ -1,0 +1,60 @@
+"""Pre-runtime scheduler, schedule extraction and runtime baselines."""
+
+from repro.scheduler.baselines import (
+    DeadlineMiss,
+    RUNTIME_POLICIES,
+    RuntimeOutcome,
+    exclusion_blocking_pair,
+    mok_trap,
+    rm_overload_pair,
+    simulate_runtime,
+)
+from repro.scheduler.config import (
+    DELAY_MODES,
+    PRIORITY_MODES,
+    SchedulerConfig,
+)
+from repro.scheduler.dfs import (
+    PreRuntimeScheduler,
+    find_schedule,
+    require_schedule,
+    search,
+)
+from repro.scheduler.result import SchedulerResult, SearchStats
+from repro.scheduler.schedule import (
+    BusSegment,
+    ExecutionSegment,
+    ScheduleItem,
+    TaskLevelSchedule,
+    build_schedule_items,
+    extract_schedule,
+    schedule_from_result,
+    validate_schedule,
+)
+
+__all__ = [
+    "BusSegment",
+    "DELAY_MODES",
+    "DeadlineMiss",
+    "ExecutionSegment",
+    "PRIORITY_MODES",
+    "PreRuntimeScheduler",
+    "RUNTIME_POLICIES",
+    "RuntimeOutcome",
+    "ScheduleItem",
+    "SchedulerConfig",
+    "SchedulerResult",
+    "SearchStats",
+    "TaskLevelSchedule",
+    "build_schedule_items",
+    "exclusion_blocking_pair",
+    "extract_schedule",
+    "find_schedule",
+    "mok_trap",
+    "require_schedule",
+    "rm_overload_pair",
+    "schedule_from_result",
+    "search",
+    "simulate_runtime",
+    "validate_schedule",
+]

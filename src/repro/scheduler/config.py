@@ -1,0 +1,68 @@
+"""Scheduler configuration.
+
+The pre-runtime scheduler (paper Section 4.4.1) is a depth-first search
+over the TLTS; its behaviour is controlled by a handful of knobs that
+the ablation benches sweep:
+
+* ``priority_mode`` — ``"ordered"`` (default) uses the priority function
+  π only to *order* candidates, preserving completeness within the delay
+  policy; ``"strict"`` applies the paper's ``FT(s)`` filter literally,
+  keeping only minimum-priority candidates (a stronger prune that can
+  sacrifice completeness);
+* ``delay_mode`` — which firing delays of the domain
+  ``[DLB(t), min DUB]`` are tried: ``"earliest"`` (as-soon-as-possible
+  firing; the blocks' ``[0,0]`` grants make the search work-conserving,
+  which is also how the paper's model behaves), ``"extremes"`` (earliest
+  and latest), or ``"full"`` (every integer delay; exhaustive but
+  potentially exponential);
+* ``partial_order`` — the state-space minimisation of the paper
+  (Lilius-style): when an immediate candidate is structurally
+  independent of every other candidate, fire it alone instead of
+  branching;
+* ``reset_policy`` — clock-reset semantics (see
+  :mod:`repro.tpn.state`);
+* resource limits (``max_states``, ``max_seconds``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+from repro.tpn.state import RESET_POLICIES
+
+PRIORITY_MODES = ("ordered", "strict")
+DELAY_MODES = ("earliest", "extremes", "full")
+
+
+@dataclass
+class SchedulerConfig:
+    """Knobs of the pre-runtime depth-first scheduler."""
+
+    priority_mode: str = "ordered"
+    delay_mode: str = "earliest"
+    partial_order: bool = True
+    reset_policy: str = "paper"
+    max_states: int = 2_000_000
+    max_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.priority_mode not in PRIORITY_MODES:
+            raise SchedulingError(
+                f"unknown priority mode {self.priority_mode!r}; "
+                f"expected one of {PRIORITY_MODES}"
+            )
+        if self.delay_mode not in DELAY_MODES:
+            raise SchedulingError(
+                f"unknown delay mode {self.delay_mode!r}; "
+                f"expected one of {DELAY_MODES}"
+            )
+        if self.reset_policy not in RESET_POLICIES:
+            raise SchedulingError(
+                f"unknown reset policy {self.reset_policy!r}; "
+                f"expected one of {RESET_POLICIES}"
+            )
+        if self.max_states < 1:
+            raise SchedulingError("max_states must be positive")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise SchedulingError("max_seconds must be positive")

@@ -1,0 +1,349 @@
+"""Pre-runtime schedule synthesis by depth-first search (Section 4.4.1).
+
+The algorithm explores the timed labeled transition system derived from
+the composed TPN, looking for a firing sequence that reaches the desired
+final marking ``M_F`` — by Definition 3.2 such a sequence *is* a
+feasible pre-runtime schedule, and finding one proves the task set
+schedulable under the searched policy.
+
+Search structure (matching the paper's description):
+
+* depth-first, with *tagging* of visited states so no state is expanded
+  twice (revisits backtrack immediately);
+* *undesirable states are removed*: candidates that fire a
+  deadline-miss transition are never taken, and successors whose
+  marking contains a token in a deadline-missed place are pruned —
+  when the model forces a miss, the branch dead-ends and the search
+  backtracks to the previous scheduling decision;
+* *partial-order state-space minimisation* (the paper cites Lilius):
+  when an immediate (zero-delay) candidate is structurally independent
+  of every other candidate — sharing no input place, so firing it can
+  neither disable nor be disabled by the alternatives — it is fired
+  alone instead of branching over interleavings.  Arrival cascades and
+  finish bookkeeping linearise this way; only genuine resource
+  conflicts (processor grants, exclusion locks) branch;
+* candidates are ordered by ``(delay, priority, index)``, so the search
+  is work-conserving first and urgency-driven second; the stop
+  criterion is reaching ``M_F``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import InfeasibleScheduleError, SchedulingError
+from repro.blocks.composer import ComposedModel
+from repro.scheduler.config import SchedulerConfig
+from repro.scheduler.result import SchedulerResult, SearchStats
+from repro.tpn.interval import INF
+from repro.tpn.net import CompiledNet, ROLE_DEADLINE_MISS
+from repro.tpn.state import DISABLED, State, StateEngine
+
+_TIME_CHECK_MASK = 0x3FF  # check the wall clock every 1024 expansions
+
+
+class PreRuntimeScheduler:
+    """Depth-first schedule synthesiser over a compiled net."""
+
+    def __init__(
+        self, net: CompiledNet, config: SchedulerConfig | None = None
+    ):
+        self.net = net
+        self.config = config or SchedulerConfig()
+        self.engine = StateEngine(
+            net, reset_policy=self.config.reset_policy
+        )
+        self._miss_transitions = frozenset(
+            t
+            for t, role in enumerate(net.roles)
+            if role == ROLE_DEADLINE_MISS
+        )
+        self._preset_places = tuple(
+            frozenset(p for p, _w in row) for row in net.pre
+        )
+        consumers: dict[int, int] = {}
+        for row in net.pre:
+            for place, _w in row:
+                consumers[place] = consumers.get(place, 0) + 1
+        # Transitions that cannot conflict with anything, now or in the
+        # future: every input place is consumed by this transition only.
+        self._conflict_free = tuple(
+            all(consumers[p] == 1 for p in places) and bool(places)
+            for places in self._preset_places
+        )
+        self._postset_places = tuple(
+            frozenset(p for p, _w in row) for row in net.post
+        )
+        if not any(v is not None for v in net.final_marking):
+            raise SchedulingError(
+                "net has no final marking; set one (the join block does "
+                "this automatically) before scheduling"
+            )
+
+    # ------------------------------------------------------------------
+    def search(self) -> SchedulerResult:
+        """Run the DFS; returns a result whether or not it succeeds."""
+        config = self.config
+        engine = self.engine
+        net = self.net
+        stats = SearchStats()
+        started = time.perf_counter()
+        deadline = (
+            None
+            if config.max_seconds is None
+            else started + config.max_seconds
+        )
+
+        s0 = engine.initial_state()
+        if net.has_missed_deadline(s0.marking):
+            raise SchedulingError(
+                "initial marking already contains a missed deadline"
+            )
+        visited: set[State] = {s0}
+        stats.states_visited = 1
+
+        if net.is_final(s0.marking):
+            stats.elapsed_seconds = time.perf_counter() - started
+            return SchedulerResult(
+                feasible=True, stats=stats, config=config
+            )
+
+        # Frame: [state, abs_time, candidates, next_index, action]
+        stack: list[list] = [
+            [s0, 0, self._candidates(s0, stats), 0, None]
+        ]
+        exhausted = False
+
+        while stack:
+            frame = stack[-1]
+            state, now, candidates, index = (
+                frame[0],
+                frame[1],
+                frame[2],
+                frame[3],
+            )
+            if index >= len(candidates):
+                stack.pop()
+                if stack:
+                    stats.backtracks += 1
+                continue
+            frame[3] = index + 1
+            transition, delay = candidates[index]
+
+            stats.states_generated += 1
+            if (
+                deadline is not None
+                and not stats.states_generated & _TIME_CHECK_MASK
+                and time.perf_counter() > deadline
+            ):
+                exhausted = True
+                break
+
+            child = engine._fire_unchecked(state, transition, delay)
+            if net.has_missed_deadline(child.marking):
+                stats.deadline_prunes += 1
+                continue
+            if child in visited:
+                stats.revisits_skipped += 1
+                continue
+            visited.add(child)
+            stats.states_visited += 1
+            action = (transition, delay, now + delay)
+
+            if net.is_final(child.marking):
+                stats.elapsed_seconds = time.perf_counter() - started
+                schedule = [
+                    (
+                        net.transition_names[f[4][0]],
+                        f[4][1],
+                        f[4][2],
+                    )
+                    for f in stack[1:]
+                    if f[4] is not None
+                ]
+                schedule.append(
+                    (
+                        net.transition_names[transition],
+                        delay,
+                        now + delay,
+                    )
+                )
+                return SchedulerResult(
+                    feasible=True,
+                    firing_schedule=schedule,
+                    stats=stats,
+                    config=config,
+                )
+
+            if stats.states_visited >= config.max_states:
+                exhausted = True
+                break
+            stack.append(
+                [
+                    child,
+                    now + delay,
+                    self._candidates(child, stats),
+                    0,
+                    action,
+                ]
+            )
+
+        stats.elapsed_seconds = time.perf_counter() - started
+        return SchedulerResult(
+            feasible=False,
+            stats=stats,
+            config=config,
+            exhausted=exhausted,
+        )
+
+    # ------------------------------------------------------------------
+    def _candidates(
+        self, state: State, stats: SearchStats
+    ) -> list[tuple[int, int]]:
+        """Ordered ``(transition, delay)`` pairs to try from ``state``."""
+        net = self.net
+        config = self.config
+        eft = net.eft
+        lft = net.lft
+        clocks = state.clocks
+
+        # min DUB over enabled transitions (strong-semantics ceiling)
+        ceiling = INF
+        for t, clock in enumerate(clocks):
+            if clock == DISABLED or lft[t] == INF:
+                continue
+            bound = lft[t] - clock
+            if bound < ceiling:
+                ceiling = bound
+
+        miss = self._miss_transitions
+        cands: list[tuple[int, int]] = []
+        for t, clock in enumerate(clocks):
+            if clock == DISABLED or t in miss:
+                continue
+            lower = eft[t] - clock
+            if lower < 0:
+                lower = 0
+            if lower <= ceiling:
+                cands.append((t, lower))
+        if not cands:
+            return []
+
+        if config.priority_mode == "strict":
+            priorities = net.priority
+            best = min(priorities[t] for t, _lo in cands)
+            cands = [
+                (t, lo) for t, lo in cands if priorities[t] == best
+            ]
+
+        if config.partial_order and len(cands) > 1:
+            reduced = self._independent_immediate(cands, state)
+            if reduced is not None:
+                stats.reductions += 1
+                cands = [reduced]
+
+        priorities = net.priority
+        expanded: list[tuple[int, int, int]] = []
+        for t, lower in cands:
+            if config.delay_mode == "earliest" or ceiling == INF:
+                delays = (lower,)
+            elif config.delay_mode == "extremes":
+                upper = int(ceiling)
+                delays = (lower,) if upper == lower else (lower, upper)
+            else:  # full
+                delays = tuple(range(lower, int(ceiling) + 1))
+            for q in delays:
+                expanded.append((q, priorities[t], t))
+        expanded.sort()
+        return [(t, q) for q, _p, t in expanded]
+
+    def _independent_immediate(
+        self, cands: list[tuple[int, int]], state: State
+    ) -> tuple[int, int] | None:
+        """Pick a candidate that may soundly be fired without branching.
+
+        A candidate qualifies when it is *structurally conflict-free*
+        (every input place is consumed by this transition only, so its
+        firing can never steal a token from any other transition — now
+        or in the future) and it fires with zero delay, so no clock
+        advances and every alternative stays fireable afterwards.
+
+        Three conditions make firing ``t`` alone sound:
+
+        * ``t`` is *forced now*: its dynamic upper bound is zero, so
+          strong semantics fires it at this very instant in every
+          continuation — and the zero ceiling means every other
+          candidate is also zero-delay, so no time passes either way;
+        * ``t`` is structurally conflict-free, so no interleaving can
+          disable it and it can disable nothing;
+        * ``t``'s postset avoids the preset of every other currently
+          enabled transition: producing into a place another enabled
+          transition consumes from does not commute at the *clock*
+          level.  The boundary case is an instance completing exactly
+          when the next one arrives — the arrival (producing the
+          deadline-timer token) and the finish (consuming the old one)
+          must be interleaved both ways, because only
+          finish-then-arrival lets the deadline clock reset.
+
+        Earlier revisions also reduced merely-eager candidates under
+        the earliest-delay policy; that loses real schedules (eagerly
+        releasing a task forecloses interleavings where another task's
+        arrival advances time first), so only forced firings reduce.
+        """
+        conflict_free = self._conflict_free
+        presets = self._preset_places
+        postsets = self._postset_places
+        lft = self.net.lft
+        clocks = state.clocks
+        enabled = [
+            t for t, clock in enumerate(clocks) if clock != DISABLED
+        ]
+        for t, lower in cands:
+            if lower != 0 or not conflict_free[t]:
+                continue
+            if lft[t] == INF or lft[t] - clocks[t] > 0:
+                continue  # not forced at this instant
+            post = postsets[t]
+            clean = True
+            for other in enabled:
+                if other != t and post & presets[other]:
+                    clean = False
+                    break
+            if clean:
+                return (t, 0)
+        return None
+
+
+def search(
+    net: CompiledNet, config: SchedulerConfig | None = None
+) -> SchedulerResult:
+    """Synthesise a schedule for a compiled net."""
+    return PreRuntimeScheduler(net, config).search()
+
+
+def find_schedule(
+    model: ComposedModel, config: SchedulerConfig | None = None
+) -> SchedulerResult:
+    """Synthesise a schedule for a composed model.
+
+    Convenience wrapper that compiles the net and attaches the model's
+    theoretical minimum firing count to the result for the paper's
+    visited-vs-minimum comparison.
+    """
+    result = search(model.net.compile(), config)
+    result.minimum_firings = model.minimum_firings()
+    return result
+
+
+def require_schedule(
+    model: ComposedModel, config: SchedulerConfig | None = None
+) -> SchedulerResult:
+    """Like :func:`find_schedule` but raises when no schedule is found."""
+    result = find_schedule(model, config)
+    if not result.feasible:
+        raise InfeasibleScheduleError(
+            f"no feasible pre-runtime schedule found for "
+            f"{model.spec.name!r} (visited {result.stats.states_visited} "
+            f"states{'; budget exhausted' if result.exhausted else ''})"
+        )
+    return result

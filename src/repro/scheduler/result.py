@@ -1,0 +1,99 @@
+"""Scheduler result container and search statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scheduler.config import SchedulerConfig
+
+
+@dataclass
+class SearchStats:
+    """Counters describing one depth-first search.
+
+    ``states_visited`` counts distinct states tagged during the search —
+    the quantity the paper reports ("searched 3268 states"); the
+    ``minimum_states`` of a model is its backtrack-free path length
+    (paper: 3130 for the mine pump), so ``states_visited −
+    schedule_length`` measures backtracking overhead.
+    """
+
+    states_visited: int = 0
+    states_generated: int = 0
+    revisits_skipped: int = 0
+    deadline_prunes: int = 0
+    backtracks: int = 0
+    reductions: int = 0
+    elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "states_visited": self.states_visited,
+            "states_generated": self.states_generated,
+            "revisits_skipped": self.revisits_skipped,
+            "deadline_prunes": self.deadline_prunes,
+            "backtracks": self.backtracks,
+            "reductions": self.reductions,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass
+class SchedulerResult:
+    """Outcome of a pre-runtime scheduling attempt.
+
+    Attributes:
+        feasible: whether a feasible firing schedule (Def. 3.2) was
+            found under the configured search policy.  ``False`` means
+            the policy-restricted space was exhausted — with
+            ``delay_mode="earliest"`` that is not a proof of
+            infeasibility, only that no as-soon-as-possible schedule
+            exists.
+        exhausted: True when the search ran out of states/time budget
+            rather than exhausting the space.
+        firing_schedule: the feasible run as ``(transition name, delay,
+            absolute time)`` triples.
+        stats: search counters.
+        config: the configuration used.
+        minimum_firings: the model's backtrack-free path length, when
+            known (used for the paper's visited/minimum comparison).
+    """
+
+    feasible: bool
+    firing_schedule: list[tuple[str, int, int]] = field(
+        default_factory=list
+    )
+    stats: SearchStats = field(default_factory=SearchStats)
+    config: SchedulerConfig = field(default_factory=SchedulerConfig)
+    exhausted: bool = False
+    minimum_firings: int | None = None
+
+    @property
+    def schedule_length(self) -> int:
+        """Number of firings in the found schedule."""
+        return len(self.firing_schedule)
+
+    @property
+    def makespan(self) -> int:
+        """Absolute time of the last firing."""
+        return self.firing_schedule[-1][2] if self.firing_schedule else 0
+
+    def summary(self) -> str:
+        """Short human-readable report (mirrors the paper's Section 5)."""
+        lines = []
+        verdict = "feasible" if self.feasible else (
+            "budget exhausted" if self.exhausted else "infeasible"
+        )
+        lines.append(f"schedule        : {verdict}")
+        if self.feasible:
+            lines.append(f"firings         : {self.schedule_length}")
+            lines.append(f"makespan        : {self.makespan}")
+        if self.minimum_firings is not None:
+            lines.append(f"minimum states  : {self.minimum_firings}")
+        lines.append(f"states visited  : {self.stats.states_visited}")
+        lines.append(
+            f"search time     : {self.stats.elapsed_seconds * 1000:.1f} ms"
+        )
+        lines.append(f"backtracks      : {self.stats.backtracks}")
+        lines.append(f"deadline prunes : {self.stats.deadline_prunes}")
+        return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Simulated execution substrate (hardware substitute, DESIGN.md S14)."""
+
+from repro.sim.machine import (
+    DispatcherMachine,
+    MachineResult,
+    run_schedule,
+)
+from repro.sim.trace import EVENT_KINDS, Trace, TraceEvent
+from repro.sim.verifier import ensure_trace_ok, verify_trace
+
+__all__ = [
+    "DispatcherMachine",
+    "EVENT_KINDS",
+    "MachineResult",
+    "Trace",
+    "TraceEvent",
+    "ensure_trace_ok",
+    "run_schedule",
+    "verify_trace",
+]

@@ -1,0 +1,92 @@
+"""Trace verification: the executed behaviour meets the specification.
+
+Closes the loop of the reproduction: the specification constraints are
+re-checked on the *executed* trace of the dispatcher machine (not on
+the planned schedule), so the whole pipeline — spec → TPN → search →
+table → dispatcher — is validated end to end.  Checks:
+
+* machine integrity errors (bad resume, wrong instance order, work left
+  at the horizon);
+* every instance completes by its absolute deadline;
+* every instance starts no earlier than its release;
+* executed time equals WCET (or the injected actual duration);
+* non-preemptive instances run in one piece;
+* precedence and exclusion relations hold on the trace;
+* processor mutual exclusion (no overlapping segments).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceVerificationError
+from repro.blocks.composer import ComposedModel
+from repro.scheduler.schedule import (
+    TaskLevelSchedule,
+    validate_schedule,
+)
+from repro.sim.machine import MachineResult
+
+
+def verify_trace(
+    model: ComposedModel,
+    result: MachineResult,
+    actual_durations: dict[tuple[str, int], int] | None = None,
+) -> list[str]:
+    """Collect every violation of the executed trace (empty = clean)."""
+    violations = list(result.errors)
+    actual = dict(actual_durations or {})
+    segments = result.trace.to_segments()
+
+    if actual:
+        # WCET under-run injection: check the executed durations
+        # directly, then let the schedule validator check everything
+        # except total-duration (which it would report against WCET).
+        executed: dict[tuple[str, int], int] = {}
+        for segment in segments:
+            key = (segment.task, segment.instance)
+            executed[key] = executed.get(key, 0) + segment.duration
+        for key, duration in executed.items():
+            expected = actual.get(
+                key, model.spec.task(key[0]).computation
+            )
+            if duration != expected:
+                violations.append(
+                    f"{key[0]} instance {key[1]}: executed {duration} "
+                    f"units, expected {expected}"
+                )
+        violations.extend(
+            v
+            for v in validate_schedule(
+                model,
+                TaskLevelSchedule(
+                    segments=segments,
+                    items=[],
+                    schedule_period=model.schedule_period,
+                ),
+                check_messages=False,
+            )
+            if "WCET is" not in v
+        )
+    else:
+        violations.extend(
+            validate_schedule(
+                model,
+                TaskLevelSchedule(
+                    segments=segments,
+                    items=[],
+                    schedule_period=model.schedule_period,
+                ),
+                check_messages=False,
+            )
+        )
+    return violations
+
+
+def ensure_trace_ok(
+    model: ComposedModel,
+    result: MachineResult,
+    actual_durations: dict[tuple[str, int], int] | None = None,
+) -> None:
+    """Raise :class:`TraceVerificationError` on any violation."""
+    violations = verify_trace(model, result, actual_durations)
+    if violations:
+        raise TraceVerificationError(violations)

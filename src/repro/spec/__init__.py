@@ -1,0 +1,74 @@
+"""Specification metamodel, DSL, timing maths and case studies."""
+
+from repro.spec.builder import SpecBuilder
+from repro.spec.dsl import (
+    NAMESPACE,
+    PAPER_FIG7_SNIPPET,
+    dumps,
+    load,
+    loads,
+    save,
+)
+from repro.spec.examples import (
+    MINE_PUMP_TABLE1,
+    fig3_precedence,
+    fig4_exclusion,
+    fig8_preemptive,
+    mine_pump,
+    paper_examples,
+)
+from repro.spec.model import (
+    EzRTSpec,
+    Message,
+    Processor,
+    SchedulingType,
+    SourceCode,
+    Task,
+    fresh_identifier,
+)
+from repro.spec.timing import (
+    TaskInstance,
+    check_harmonic,
+    demand_in_window,
+    expand_instances,
+    instance_count,
+    lcm,
+    schedule_period,
+    total_instances,
+    utilization_breakdown,
+)
+from repro.spec.validation import ensure_valid, validate_spec
+
+__all__ = [
+    "EzRTSpec",
+    "MINE_PUMP_TABLE1",
+    "Message",
+    "NAMESPACE",
+    "PAPER_FIG7_SNIPPET",
+    "Processor",
+    "SchedulingType",
+    "SourceCode",
+    "SpecBuilder",
+    "Task",
+    "TaskInstance",
+    "check_harmonic",
+    "demand_in_window",
+    "dumps",
+    "ensure_valid",
+    "expand_instances",
+    "fig3_precedence",
+    "fig4_exclusion",
+    "fig8_preemptive",
+    "fresh_identifier",
+    "instance_count",
+    "lcm",
+    "load",
+    "loads",
+    "mine_pump",
+    "paper_examples",
+    "save",
+    "schedule_period",
+    "total_instances",
+    "utilization_breakdown",
+    "validate_spec",
+]

@@ -1,0 +1,92 @@
+"""Graphviz DOT export for nets and reachability graphs.
+
+The ezRealtime GUI renders nets graphically; in this reproduction the
+equivalent inspection path is DOT output (viewable with ``dot -Tpng`` or
+any Graphviz front-end).  Only plain-text generation happens here — no
+Graphviz dependency.
+"""
+
+from __future__ import annotations
+
+from repro.tpn.net import CompiledNet, TimePetriNet
+from repro.tpn.reachability import ReachabilityGraph
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def net_to_dot(net: TimePetriNet, rankdir: str = "LR") -> str:
+    """Render the net structure as a DOT digraph.
+
+    Places are circles annotated with their initial marking; transitions
+    are boxes annotated with their static interval and (non-zero)
+    priority; arc labels show weights greater than one.
+    """
+    lines = [
+        f'digraph "{_escape(net.name)}" {{',
+        f"  rankdir={rankdir};",
+        "  node [fontsize=10];",
+    ]
+    for place in net.places:
+        tokens = f"\\n●×{place.marking}" if place.marking else ""
+        fill = ' style=filled fillcolor="#ffdddd"' if (
+            place.role == "deadline-miss"
+        ) else ""
+        lines.append(
+            f'  "{_escape(place.name)}" [shape=circle '
+            f'label="{_escape(place.label)}{tokens}"{fill}];'
+        )
+    for t in net.transitions:
+        prio = f"\\nπ={t.priority}" if t.priority else ""
+        lines.append(
+            f'  "{_escape(t.name)}" [shape=box '
+            f'label="{_escape(t.label)}\\n{t.interval}{prio}"];'
+        )
+    for arc in net.arcs():
+        weight = f' [label="{arc.weight}"]' if arc.weight > 1 else ""
+        lines.append(
+            f'  "{_escape(arc.source)}" -> "{_escape(arc.target)}"{weight};'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def reachability_to_dot(
+    net: CompiledNet, graph: ReachabilityGraph, max_states: int = 200
+) -> str:
+    """Render (a prefix of) a reachability graph as DOT.
+
+    States are labelled with their marked places; edges with the fired
+    transition and its delay.  ``max_states`` caps the output size so
+    large graphs stay viewable.
+    """
+    lines = [
+        f'digraph "{_escape(net.name)}_states" {{',
+        "  node [shape=ellipse fontsize=9];",
+    ]
+    shown = min(len(graph.states), max_states)
+    for i in range(shown):
+        marking = graph.states[i].marking
+        label = ",".join(
+            f"{net.place_names[p]}:{v}"
+            for p, v in enumerate(marking)
+            if v
+        )
+        shape = ' peripheries=2' if net.is_final(marking) else ""
+        lines.append(f'  s{i} [label="s{i}\\n{_escape(label)}"{shape}];')
+    for i in range(shown):
+        for t, q, j in graph.edges[i]:
+            if j >= shown:
+                continue
+            name = net.transition_names[t]
+            lines.append(
+                f'  s{i} -> s{j} [label="{_escape(name)},{q}" fontsize=8];'
+            )
+    if shown < len(graph.states):
+        lines.append(
+            f'  more [shape=plaintext label="... '
+            f'{len(graph.states) - shown} more states"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Static timing intervals for time Petri net transitions.
+
+A time Petri net (Merlin/Faber, paper Section 3.1) attaches to every
+transition ``t`` a static firing interval ``I(t) = [EFT(t), LFT(t)]``:
+once ``t`` has been continuously enabled for ``EFT(t)`` time units it may
+fire, and it must fire no later than ``LFT(t)`` units after enabling
+(strong semantics) unless it is disabled first.
+
+The reproduction uses the paper's discrete-time model: bounds are
+non-negative integers, with ``INF`` (``math.inf``) allowed as an upper
+bound for transitions that are never forced to fire.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+from repro.errors import NetConstructionError
+
+#: Unbounded latest-firing-time marker.  Stored as ``math.inf`` so that
+#: comparisons against integer clocks work without special cases.
+INF = math.inf
+
+_INTERVAL_RE = re.compile(
+    r"^\s*[\[\(]\s*(\d+)\s*,\s*(\d+|inf|oo|w|∞)\s*[\]\)]\s*$",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True, order=True)
+class TimeInterval:
+    """A closed static firing interval ``[eft, lft]`` in discrete time.
+
+    Attributes:
+        eft: earliest firing time (non-negative integer).
+        lft: latest firing time (integer ``>= eft``) or :data:`INF`.
+    """
+
+    eft: int
+    lft: float  # int in practice; float only to admit INF
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.eft, int) or isinstance(self.eft, bool):
+            raise NetConstructionError(
+                f"EFT must be an integer, got {self.eft!r}"
+            )
+        if self.eft < 0:
+            raise NetConstructionError(f"EFT must be >= 0, got {self.eft}")
+        if self.lft != INF:
+            if not isinstance(self.lft, int) or isinstance(self.lft, bool):
+                raise NetConstructionError(
+                    f"LFT must be an integer or INF, got {self.lft!r}"
+                )
+            if self.lft < self.eft:
+                raise NetConstructionError(
+                    f"interval is inverted: EFT={self.eft} > LFT={self.lft}"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def point(cls, value: int) -> "TimeInterval":
+        """The punctual interval ``[value, value]``."""
+        return cls(value, value)
+
+    @classmethod
+    def zero(cls) -> "TimeInterval":
+        """The immediate interval ``[0, 0]`` used by structural transitions."""
+        return cls(0, 0)
+
+    @classmethod
+    def unbounded(cls, eft: int = 0) -> "TimeInterval":
+        """The interval ``[eft, INF]`` (never forced to fire)."""
+        return cls(eft, INF)
+
+    @classmethod
+    def parse(cls, text: str) -> "TimeInterval":
+        """Parse ``"[a, b]"`` notation; ``b`` may be ``inf``/``oo``/``w``.
+
+        >>> TimeInterval.parse("[3, 7]")
+        TimeInterval(eft=3, lft=7)
+        >>> TimeInterval.parse("[0, inf]").is_unbounded
+        True
+        """
+        match = _INTERVAL_RE.match(text)
+        if match is None:
+            raise NetConstructionError(f"cannot parse interval {text!r}")
+        eft = int(match.group(1))
+        raw_lft = match.group(2).lower()
+        lft: float
+        if raw_lft in {"inf", "oo", "w", "∞"}:
+            lft = INF
+        else:
+            lft = int(raw_lft)
+        return cls(eft, lft)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_punctual(self) -> bool:
+        """True for ``[a, a]`` intervals (a single admissible firing time)."""
+        return self.lft == self.eft
+
+    @property
+    def is_immediate(self) -> bool:
+        """True for the ``[0, 0]`` interval."""
+        return self.eft == 0 and self.lft == 0
+
+    @property
+    def is_unbounded(self) -> bool:
+        """True when the latest firing time is infinite."""
+        return self.lft == INF
+
+    @property
+    def width(self) -> float:
+        """``lft - eft`` (``INF`` for unbounded intervals)."""
+        return self.lft - self.eft
+
+    def contains(self, value: int) -> bool:
+        """Whether ``value`` lies inside the closed interval."""
+        return self.eft <= value <= self.lft
+
+    def intersect(self, other: "TimeInterval") -> "TimeInterval | None":
+        """Intersection with ``other``, or ``None`` when disjoint."""
+        eft = max(self.eft, other.eft)
+        lft = min(self.lft, other.lft)
+        if eft > lft:
+            return None
+        return TimeInterval(eft, int(lft) if lft != INF else INF)
+
+    def shift(self, delta: int) -> "TimeInterval":
+        """Translate both bounds by ``delta`` (clamping EFT at zero)."""
+        eft = max(0, self.eft + delta)
+        lft = self.lft if self.lft == INF else max(eft, self.lft + delta)
+        return TimeInterval(eft, lft)
+
+    def iter_values(self) -> range:
+        """All admissible integer firing times (bounded intervals only)."""
+        if self.is_unbounded:
+            raise NetConstructionError(
+                "cannot enumerate an unbounded interval"
+            )
+        return range(self.eft, int(self.lft) + 1)
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        upper = "inf" if self.is_unbounded else str(int(self.lft))
+        return f"[{self.eft}, {upper}]"

@@ -1,0 +1,95 @@
+"""Marking utilities.
+
+The engine represents a marking ``m_i`` as a plain ``tuple[int, ...]`` in
+place insertion order (paper: ``m_i ∈ N^{|P|}``) — tuples hash fast and
+keep the visited-state set compact.  :class:`MarkingView` wraps such a
+vector with the place names of its net for ergonomic, name-addressed
+inspection in tests, reports and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import NetConstructionError
+from repro.tpn.net import CompiledNet
+
+
+class MarkingView(Mapping[str, int]):
+    """Read-only, name-addressed view over a marking vector.
+
+    Behaves as a mapping from place name to token count::
+
+        view = MarkingView(net, state.marking)
+        assert view["p_proc"] == 1
+        assert view.marked() == ("p_proc", "p_start")
+    """
+
+    __slots__ = ("_net", "_vector")
+
+    def __init__(self, net: CompiledNet, vector: tuple[int, ...]):
+        if len(vector) != net.num_places:
+            raise NetConstructionError(
+                f"marking has {len(vector)} entries for a net with "
+                f"{net.num_places} places"
+            )
+        self._net = net
+        self._vector = vector
+
+    @classmethod
+    def from_dict(
+        cls, net: CompiledNet, tokens: Mapping[str, int]
+    ) -> "MarkingView":
+        """Build a view (and vector) from a sparse name->count mapping."""
+        vector = [0] * net.num_places
+        for name, count in tokens.items():
+            if name not in net.place_index:
+                raise NetConstructionError(f"unknown place {name!r}")
+            if count < 0:
+                raise NetConstructionError(
+                    f"negative token count for place {name!r}"
+                )
+            vector[net.place_index[name]] = count
+        return cls(net, tuple(vector))
+
+    @property
+    def vector(self) -> tuple[int, ...]:
+        """The underlying dense vector (place insertion order)."""
+        return self._vector
+
+    def __getitem__(self, name: str) -> int:
+        try:
+            return self._vector[self._net.place_index[name]]
+        except KeyError:
+            raise NetConstructionError(f"unknown place {name!r}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._net.place_names)
+
+    def __len__(self) -> int:
+        return len(self._vector)
+
+    def marked(self) -> tuple[str, ...]:
+        """Names of all places holding at least one token."""
+        return tuple(
+            name
+            for name, count in zip(self._net.place_names, self._vector)
+            if count > 0
+        )
+
+    def total_tokens(self) -> int:
+        """Sum of all token counts (useful for conservation checks)."""
+        return sum(self._vector)
+
+    def as_dict(self, sparse: bool = True) -> dict[str, int]:
+        """Dict form; ``sparse=True`` omits empty places."""
+        items = zip(self._net.place_names, self._vector)
+        if sparse:
+            return {name: count for name, count in items if count > 0}
+        return dict(items)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={count}" for name, count in self.as_dict().items()
+        )
+        return f"MarkingView({inner})"

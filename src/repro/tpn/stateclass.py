@@ -1,0 +1,259 @@
+"""State-class graph construction (Berthomieu–Diaz).
+
+The discrete-time TLTS of :mod:`repro.tpn.state` enumerates integer
+clock valuations; the classical *state-class* abstraction instead
+groups states by marking plus a difference-bound system over the firing
+times of enabled transitions, making the dense-time behaviour of a
+bounded TPN finite.  ezRealtime's scheduler does not need it (the
+paper's model is discrete-time), but a credible TPN substrate offers
+it: the class graph answers marking-reachability and firability
+questions independently of the discrete engine, and the test-suite uses
+that independence to cross-validate the firing rule (integer firing
+times are known to suffice for marking reachability in TPNs with
+integer bounds, so both explorations must see the same markings).
+
+Implementation: a class is ``(marking, D)`` where ``D`` is a canonical
+difference-bound matrix (DBM) over ``θ_0 = 0`` and one variable per
+enabled transition, with ``D[i][j]`` bounding ``θ_i − θ_j``.  Firing
+``t`` requires ``θ_t ≤ θ_u`` for every enabled ``u`` to stay
+satisfiable; successors keep persistent transitions' differences and
+give newly enabled ones their static intervals.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.tpn.interval import INF
+from repro.tpn.net import CompiledNet
+
+#: Matrix entries are integers or INF.
+Bound = float
+
+
+def _canonical(matrix: list[list[Bound]]) -> list[list[Bound]] | None:
+    """Floyd–Warshall closure; ``None`` when inconsistent."""
+    n = len(matrix)
+    dist = [row[:] for row in matrix]
+    for k in range(n):
+        row_k = dist[k]
+        for i in range(n):
+            d_ik = dist[i][k]
+            if d_ik == INF:
+                continue
+            row_i = dist[i]
+            for j in range(n):
+                if row_k[j] == INF:
+                    continue
+                candidate = d_ik + row_k[j]
+                if candidate < row_i[j]:
+                    row_i[j] = candidate
+    for i in range(n):
+        if dist[i][i] < 0:
+            return None
+    return dist
+
+
+@dataclass(frozen=True)
+class StateClass:
+    """A Berthomieu–Diaz state class.
+
+    ``enabled`` lists the transition indices in DBM variable order
+    (variable 0 is the zero reference); ``dbm`` is the canonical
+    matrix, stored as a tuple of tuples for hashability.
+    """
+
+    marking: tuple[int, ...]
+    enabled: tuple[int, ...]
+    dbm: tuple[tuple[Bound, ...], ...]
+
+    def bounds_of(self, transition: int) -> tuple[Bound, Bound]:
+        """Earliest/latest relative firing time of an enabled transition."""
+        try:
+            var = self.enabled.index(transition) + 1
+        except ValueError:
+            raise SchedulingError(
+                f"transition {transition} is not enabled in this class"
+            ) from None
+        lower = -self.dbm[0][var]
+        upper = self.dbm[var][0]
+        return (lower, upper)
+
+
+@dataclass
+class StateClassGraph:
+    """The (possibly truncated) state-class graph."""
+
+    classes: list[StateClass] = field(default_factory=list)
+    index: dict[StateClass, int] = field(default_factory=dict)
+    edges: list[list[tuple[int, int]]] = field(default_factory=list)
+    complete: bool = True
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    def markings(self) -> set[tuple[int, ...]]:
+        return {c.marking for c in self.classes}
+
+
+class StateClassEngine:
+    """Constructs state classes for a compiled net."""
+
+    def __init__(self, net: CompiledNet):
+        self.net = net
+
+    # ------------------------------------------------------------------
+    def initial_class(self) -> StateClass:
+        marking = self.net.m0
+        enabled = tuple(self._enabled(marking))
+        size = len(enabled) + 1
+        matrix: list[list[Bound]] = [
+            [INF] * size for _ in range(size)
+        ]
+        for i in range(size):
+            matrix[i][i] = 0
+        for var, t in enumerate(enabled, start=1):
+            matrix[var][0] = self.net.lft[t]  # θ_t ≤ LFT
+            matrix[0][var] = -self.net.eft[t]  # −θ_t ≤ −EFT
+        closed = _canonical(matrix)
+        if closed is None:
+            raise SchedulingError("initial class is inconsistent")
+        return StateClass(
+            marking,
+            enabled,
+            tuple(tuple(row) for row in closed),
+        )
+
+    def _enabled(self, marking: tuple[int, ...]) -> list[int]:
+        result = []
+        for t in range(self.net.num_transitions):
+            ok = True
+            for place, weight in self.net.pre[t]:
+                if marking[place] < weight:
+                    ok = False
+                    break
+            if ok:
+                result.append(t)
+        return result
+
+    # ------------------------------------------------------------------
+    def firable(self, cls: StateClass) -> list[int]:
+        """Transitions firable from the class (dense-time semantics)."""
+        result = []
+        for t in cls.enabled:
+            if self._fire(cls, t, check_only=True) is not None:
+                result.append(t)
+        return result
+
+    def fire(self, cls: StateClass, transition: int) -> StateClass:
+        """Successor class after firing ``transition``."""
+        successor = self._fire(cls, transition, check_only=False)
+        if successor is None:
+            raise SchedulingError(
+                f"transition "
+                f"{self.net.transition_names[transition]!r} is not "
+                "firable from this class"
+            )
+        return successor
+
+    def _fire(
+        self, cls: StateClass, transition: int, check_only: bool
+    ) -> StateClass | None:
+        if transition not in cls.enabled:
+            return None
+        size = len(cls.enabled) + 1
+        var_t = cls.enabled.index(transition) + 1
+        # add θ_t − θ_u ≤ 0 for every other enabled u
+        matrix = [list(row) for row in cls.dbm]
+        for var_u in range(1, size):
+            if var_u != var_t and matrix[var_t][var_u] > 0:
+                matrix[var_t][var_u] = 0
+        closed = _canonical(matrix)
+        if closed is None:
+            return None
+        if check_only:
+            return cls
+
+        # new marking
+        marking = list(cls.marking)
+        for place, delta in self.net.delta[transition]:
+            marking[place] += delta
+        new_marking = tuple(marking)
+
+        old_enabled = cls.enabled
+        new_enabled = tuple(self._enabled(new_marking))
+        # persistence per the paper's rule: enabled before and after,
+        # and not the fired transition itself
+        persistent = {
+            t
+            for t in new_enabled
+            if t in old_enabled and t != transition
+        }
+        new_size = len(new_enabled) + 1
+        fresh: list[list[Bound]] = [
+            [INF] * new_size for _ in range(new_size)
+        ]
+        for i in range(new_size):
+            fresh[i][i] = 0
+        for new_var, t in enumerate(new_enabled, start=1):
+            if t in persistent:
+                old_var = old_enabled.index(t) + 1
+                # θ'_u = θ_u − θ_t: bounds against the new origin
+                fresh[new_var][0] = closed[old_var][var_t]
+                fresh[0][new_var] = closed[var_t][old_var]
+            else:
+                fresh[new_var][0] = self.net.lft[t]
+                fresh[0][new_var] = -self.net.eft[t]
+        # preserve pairwise differences among persistent transitions
+        for i_var, t_i in enumerate(new_enabled, start=1):
+            if t_i not in persistent:
+                continue
+            old_i = old_enabled.index(t_i) + 1
+            for j_var, t_j in enumerate(new_enabled, start=1):
+                if t_j not in persistent or i_var == j_var:
+                    continue
+                old_j = old_enabled.index(t_j) + 1
+                fresh[i_var][j_var] = closed[old_i][old_j]
+        final = _canonical(fresh)
+        if final is None:
+            return None
+        return StateClass(
+            new_marking,
+            new_enabled,
+            tuple(tuple(row) for row in final),
+        )
+
+
+def build_state_class_graph(
+    net: CompiledNet, max_classes: int = 10_000
+) -> StateClassGraph:
+    """Enumerate the state-class graph up to ``max_classes``."""
+    engine = StateClassEngine(net)
+    graph = StateClassGraph()
+    initial = engine.initial_class()
+    graph.classes.append(initial)
+    graph.index[initial] = 0
+    graph.edges.append([])
+    frontier: deque[int] = deque([0])
+    while frontier:
+        i = frontier.popleft()
+        cls = graph.classes[i]
+        for t in engine.firable(cls):
+            successor = engine._fire(cls, t, check_only=False)
+            if successor is None:
+                continue
+            j = graph.index.get(successor)
+            if j is None:
+                if len(graph.classes) >= max_classes:
+                    graph.complete = False
+                    continue
+                j = len(graph.classes)
+                graph.classes.append(successor)
+                graph.index[successor] = j
+                graph.edges.append([])
+                frontier.append(j)
+            graph.edges[i].append((t, j))
+    return graph

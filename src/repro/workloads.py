@@ -1,0 +1,148 @@
+"""Synthetic workload generation for scaling studies.
+
+The paper evaluates on one case study; the scaling benches sweep the
+search over synthetic task sets produced here.  Generation follows the
+standard recipe of the real-time literature:
+
+* utilisations by the UUniFast algorithm (Bini/Buttazzo), which samples
+  uniformly from the simplex ``Σ U_i = U``;
+* periods drawn from a divisor-friendly grid so hyper-periods stay
+  bounded (pre-runtime scheduling explodes with the LCM, a property the
+  benches surface deliberately);
+* computation ``c_i = max(1, round(U_i · p_i))``, constrained deadlines
+  sampled in ``[c_i + slack, p_i]``.
+
+Everything is deterministic given the ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import SpecificationError
+from repro.spec.builder import SpecBuilder
+from repro.spec.model import EzRTSpec
+
+#: Divisor-friendly period grid (pairwise LCM ≤ 6000).
+PERIOD_GRID = (20, 25, 40, 50, 100, 125, 200, 250, 500, 1000)
+
+
+def uunifast(
+    n: int, total_utilization: float, rng: random.Random
+) -> list[float]:
+    """UUniFast: ``n`` utilisations summing to ``total_utilization``."""
+    if n < 1:
+        raise SpecificationError("need at least one task")
+    if not 0.0 < total_utilization <= 1.0:
+        raise SpecificationError(
+            "total utilisation must be in (0, 1] for one processor"
+        )
+    utilizations = []
+    remaining = total_utilization
+    for i in range(1, n):
+        next_sum = remaining * rng.random() ** (1.0 / (n - i))
+        utilizations.append(remaining - next_sum)
+        remaining = next_sum
+    utilizations.append(remaining)
+    return utilizations
+
+
+def random_task_set(
+    n_tasks: int,
+    total_utilization: float = 0.5,
+    seed: int = 0,
+    preemptive_fraction: float = 0.0,
+    deadline_slack: float = 1.0,
+    period_grid: tuple[int, ...] = PERIOD_GRID,
+    name: str | None = None,
+) -> EzRTSpec:
+    """Generate a schedulable-looking random specification.
+
+    ``deadline_slack`` scales deadlines between the minimum feasible
+    (``c``) and the period: 1.0 gives implicit deadlines (``d = p``),
+    smaller values tighten them.
+    """
+    if not 0.0 <= preemptive_fraction <= 1.0:
+        raise SpecificationError(
+            "preemptive fraction must be within [0, 1]"
+        )
+    if not 0.0 < deadline_slack <= 1.0:
+        raise SpecificationError("deadline slack must be in (0, 1]")
+    rng = random.Random(seed)
+    utilizations = uunifast(n_tasks, total_utilization, rng)
+    builder = SpecBuilder(
+        name or f"random-u{total_utilization:.2f}-n{n_tasks}-s{seed}"
+    ).processor("proc0")
+    for index, utilization in enumerate(utilizations):
+        period = rng.choice(period_grid)
+        computation = max(1, round(utilization * period))
+        computation = min(computation, period)
+        minimum_deadline = computation
+        deadline = minimum_deadline + round(
+            deadline_slack * (period - minimum_deadline)
+        )
+        deadline = max(computation, min(deadline, period))
+        preemptive = rng.random() < preemptive_fraction
+        builder.task(
+            f"T{index}",
+            computation=computation,
+            deadline=deadline,
+            period=period,
+            scheduling="P" if preemptive else "NP",
+        )
+    return builder.build()
+
+
+def random_task_set_with_relations(
+    n_tasks: int,
+    total_utilization: float = 0.4,
+    seed: int = 0,
+    precedence_pairs: int = 1,
+    exclusion_pairs: int = 1,
+    name: str | None = None,
+) -> EzRTSpec:
+    """Random set with precedence chains and exclusion pairs.
+
+    Precedence requires equal periods, so related tasks are forced onto
+    a common period before relations are drawn.
+    """
+    rng = random.Random(seed)
+    spec = random_task_set(
+        n_tasks,
+        total_utilization,
+        seed=seed,
+        name=name
+        or f"random-rel-n{n_tasks}-s{seed}",
+    )
+    names = list(spec.task_names())
+    # equalise periods of the first 2 * precedence_pairs tasks
+    added_prec = 0
+    for i in range(precedence_pairs):
+        if 2 * i + 1 >= len(names):
+            break
+        before = spec.task(names[2 * i])
+        after = spec.task(names[2 * i + 1])
+        common = max(before.period, after.period)
+        for task in (before, after):
+            task.period = common
+            task.deadline = min(task.deadline, common)
+            if task.deadline < task.computation:
+                task.deadline = task.computation
+        spec.add_precedence(before.name, after.name)
+        added_prec += 1
+    added_excl = 0
+    attempts = 0
+    while added_excl < exclusion_pairs and attempts < 50:
+        attempts += 1
+        a, b = rng.sample(names, 2)
+        pair = tuple(sorted((a, b)))
+        if pair in {tuple(sorted(p)) for p in spec.exclusion_pairs()}:
+            continue
+        if (a, b) in spec.precedence_pairs() or (
+            b,
+            a,
+        ) in spec.precedence_pairs():
+            continue
+        spec.add_exclusion(a, b)
+        added_excl += 1
+    return spec

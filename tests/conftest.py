@@ -1,0 +1,99 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocks import ComposerOptions, compose
+from repro.spec import (
+    SpecBuilder,
+    fig3_precedence,
+    fig4_exclusion,
+    fig8_preemptive,
+    mine_pump,
+)
+from repro.tpn import TimeInterval, TimePetriNet
+
+
+@pytest.fixture
+def simple_net() -> TimePetriNet:
+    """A tiny producer/consumer net with a resource place.
+
+    ``t_start [2,4]`` takes the resource, ``t_end [3,3]`` returns it;
+    the final marking is the drained state.
+    """
+    net = TimePetriNet("simple")
+    net.add_place("p0", marking=1)
+    net.add_place("proc", marking=1)
+    net.add_place("p1")
+    net.add_place("done")
+    net.add_transition("t_start", TimeInterval(2, 4))
+    net.add_transition("t_end", TimeInterval(3, 3))
+    net.add_arc("p0", "t_start")
+    net.add_arc("proc", "t_start")
+    net.add_arc("t_start", "p1")
+    net.add_arc("p1", "t_end")
+    net.add_arc("t_end", "done")
+    net.add_arc("t_end", "proc")
+    net.set_final_marking({"done": 1, "proc": 1, "p0": 0, "p1": 0})
+    return net
+
+
+@pytest.fixture
+def conflict_net() -> TimePetriNet:
+    """Two transitions competing for one token (a free choice)."""
+    net = TimePetriNet("conflict")
+    net.add_place("p", marking=1)
+    net.add_place("a")
+    net.add_place("b")
+    net.add_transition("t_a", TimeInterval(1, 5))
+    net.add_transition("t_b", TimeInterval(2, 3))
+    net.add_arc("p", "t_a")
+    net.add_arc("p", "t_b")
+    net.add_arc("t_a", "a")
+    net.add_arc("t_b", "b")
+    return net
+
+
+@pytest.fixture
+def two_task_spec():
+    """A minimal schedulable two-task specification."""
+    return (
+        SpecBuilder("two-task")
+        .processor("proc0")
+        .task("A", computation=2, deadline=10, period=10)
+        .task("B", computation=3, deadline=10, period=10)
+        .build()
+    )
+
+
+@pytest.fixture
+def mine_pump_spec():
+    return mine_pump()
+
+
+@pytest.fixture
+def mine_pump_model(mine_pump_spec):
+    return compose(mine_pump_spec)
+
+
+@pytest.fixture
+def fig3_model():
+    return compose(fig3_precedence())
+
+
+@pytest.fixture
+def fig4_model():
+    return compose(fig4_exclusion())
+
+
+@pytest.fixture
+def fig8_model():
+    return compose(fig8_preemptive())
+
+
+@pytest.fixture
+def expanded_options():
+    from repro.blocks import BlockStyle
+
+    return ComposerOptions(style=BlockStyle.EXPANDED)

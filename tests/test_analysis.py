@@ -1,0 +1,217 @@
+"""Tests for schedulability analysis, Gantt and reports."""
+
+import pytest
+
+from repro.analysis import (
+    breakdown,
+    demand_bound,
+    edf_feasible,
+    full_report,
+    liu_layland_bound,
+    necessary_feasible,
+    passes_hyperbolic,
+    passes_liu_layland,
+    render_gantt,
+    render_instance_table,
+    response_time_analysis,
+    schedule_report,
+    spec_report,
+    total_utilization,
+)
+from repro.blocks import compose
+from repro.scheduler import find_schedule, schedule_from_result
+from repro.spec import SpecBuilder, mine_pump
+
+
+class TestUtilization:
+    def test_mine_pump_total(self):
+        assert total_utilization(mine_pump()) == pytest.approx(
+            0.30445, abs=1e-4
+        )
+
+    def test_liu_layland_values(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+        assert liu_layland_bound(2) == pytest.approx(0.8284, abs=1e-3)
+        # n → ∞ limit is ln 2
+        assert liu_layland_bound(1000) == pytest.approx(
+            0.6934, abs=1e-3
+        )
+
+    def test_liu_layland_invalid(self):
+        with pytest.raises(ValueError):
+            liu_layland_bound(0)
+
+    def test_mine_pump_passes_bounds(self):
+        spec = mine_pump()
+        assert passes_liu_layland(spec)
+        assert passes_hyperbolic(spec)
+        assert necessary_feasible(spec)
+
+    def test_overloaded_fails_necessary(self):
+        spec = (
+            SpecBuilder("over")
+            .task("A", computation=6, deadline=10, period=10)
+            .task("B", computation=6, deadline=10, period=10)
+            .build()
+        )
+        assert not necessary_feasible(spec)
+
+    def test_hyperbolic_tighter_than_liu_layland(self):
+        # U = 0.85 > LL bound for 2 tasks (0.828) but the product
+        # (1.7)(1.15) = 1.955 <= 2 passes the hyperbolic test
+        spec = (
+            SpecBuilder("edge")
+            .task("A", computation=7, deadline=10, period=10)
+            .task("B", computation=3, deadline=20, period=20)
+            .build()
+        )
+        assert not passes_liu_layland(spec)
+        assert passes_hyperbolic(spec)
+
+    def test_breakdown_keys(self):
+        rows = breakdown(mine_pump())
+        assert "PMC" in rows and "total" in rows
+        assert "liu-layland-bound" in rows
+
+
+class TestDemand:
+    def test_demand_bound_values(self):
+        spec = (
+            SpecBuilder("d")
+            .task("A", computation=2, deadline=5, period=10)
+            .build()
+        )
+        assert demand_bound(spec, 4) == 0
+        assert demand_bound(spec, 5) == 2
+        assert demand_bound(spec, 15) == 4
+
+    def test_edf_feasible_mine_pump(self):
+        check = edf_feasible(mine_pump())
+        assert check.feasible
+        assert check.checked_points > 0
+
+    def test_edf_infeasible_overload(self):
+        spec = (
+            SpecBuilder("over")
+            .task("A", computation=6, deadline=10, period=10)
+            .task("B", computation=6, deadline=10, period=10)
+            .build()
+        )
+        check = edf_feasible(spec)
+        assert not check.feasible
+        assert check.first_overload == 10
+        assert "overload" in str(check)
+
+
+class TestResponseTime:
+    def test_exact_two_task(self):
+        spec = (
+            SpecBuilder("rta")
+            .task("HI", computation=2, deadline=5, period=5,
+                  scheduling="P")
+            .task("LO", computation=4, deadline=10, period=10,
+                  scheduling="P")
+            .build()
+        )
+        result = response_time_analysis(spec, "dm")
+        assert result.response["HI"] == 2
+        # LO: 4 + ceil(R/5)*2 → fixed point at 8
+        assert result.response["LO"] == 8
+        assert result.schedulable
+
+    def test_blocking_term_for_np(self):
+        spec = (
+            SpecBuilder("block")
+            .task("HI", computation=2, deadline=5, period=10,
+                  scheduling="P")
+            .task("LO", computation=4, deadline=10, period=10,
+                  scheduling="NP")
+            .build()
+        )
+        with_blocking = response_time_analysis(spec, "dm")
+        without = response_time_analysis(
+            spec, "dm", nonpreemptive_blocking=False
+        )
+        assert (
+            with_blocking.response["HI"]
+            == without.response["HI"] + 3
+        )
+
+    def test_unschedulable_flagged(self):
+        from repro.scheduler import rm_overload_pair
+
+        result = response_time_analysis(rm_overload_pair(), "rm")
+        assert not result.schedulable
+        assert "T2" in result.unschedulable_tasks
+        assert "unschedulable" in str(result)
+
+    def test_unknown_policy(self):
+        with pytest.raises(Exception):
+            response_time_analysis(mine_pump(), "edf")
+
+
+class TestGantt:
+    @pytest.fixture()
+    def bundle(self, two_task_spec):
+        model = compose(two_task_spec)
+        schedule = schedule_from_result(model, find_schedule(model))
+        return model, schedule
+
+    def test_render(self, bundle):
+        model, schedule = bundle
+        text = render_gantt(model, schedule.segments, 0, 10)
+        lines = text.splitlines()
+        assert lines[0].startswith("Gantt [0, 10)")
+        a_row = next(line for line in lines if line.startswith("A"))
+        assert "##" in a_row
+
+    def test_scaling(self, bundle):
+        model, schedule = bundle
+        text = render_gantt(
+            model, schedule.segments, 0, 1000, width=10
+        )
+        assert "one column = 100" in text
+
+    def test_empty_window_rejected(self, bundle):
+        model, schedule = bundle
+        with pytest.raises(ValueError):
+            render_gantt(model, schedule.segments, 5, 5)
+
+    def test_instance_table(self, bundle):
+        model, schedule = bundle
+        table = render_instance_table(model, schedule.segments)
+        assert "response" in table
+        assert "A" in table
+
+    def test_instance_table_limit(self, mine_pump_model):
+        schedule = schedule_from_result(
+            mine_pump_model, find_schedule(mine_pump_model)
+        )
+        table = render_instance_table(
+            mine_pump_model, schedule.segments, limit=5
+        )
+        assert "limited to 5" in table
+
+
+class TestReports:
+    def test_full_report_sections(self, two_task_spec):
+        model = compose(two_task_spec)
+        result = find_schedule(model)
+        schedule = schedule_from_result(model, result)
+        text = full_report(model, result, schedule, gantt=True)
+        assert "== specification ==" in text
+        assert "== pre-runtime search ==" in text
+        assert "== synthesised schedule ==" in text
+        assert "Gantt" in text
+
+    def test_spec_report_facts(self, mine_pump_model):
+        text = spec_report(mine_pump_model)
+        assert "782" in text
+        assert "30000" in text
+        assert "0.30" in text
+
+    def test_schedule_report_load(self, two_task_spec):
+        model = compose(two_task_spec)
+        schedule = schedule_from_result(model, find_schedule(model))
+        text = schedule_report(model, schedule)
+        assert "processor busy   : 5 (50.0% of PS)" in text

@@ -1,0 +1,255 @@
+"""Tests for the building-block library (paper Figs. 1–2)."""
+
+import pytest
+
+from repro.blocks import (
+    BlockStyle,
+    add_fork_block,
+    add_join_block,
+    add_processor_block,
+    add_task_blocks,
+    firings_per_instance,
+    minimum_schedule_firings,
+    sanitize,
+)
+from repro.errors import NetConstructionError
+from repro.spec import SchedulingType, Task
+from repro.tpn import TimeInterval, TimePetriNet
+
+
+def make_task(**overrides) -> Task:
+    params = dict(
+        name="X", computation=3, deadline=10, period=20, release=1,
+        phase=2,
+    )
+    params.update(overrides)
+    return Task(**params)
+
+
+@pytest.fixture
+def net_with_proc():
+    net = TimePetriNet("blocks")
+    proc = add_processor_block(net, "proc0")
+    return net, proc
+
+
+class TestProcessorBlock:
+    def test_single_token(self, net_with_proc):
+        net, proc = net_with_proc
+        assert net.place(proc).marking == 1
+
+    def test_idempotent(self):
+        net = TimePetriNet("n")
+        first = add_processor_block(net, "proc0")
+        second = add_processor_block(net, "proc0")
+        assert first == second
+        assert len(net.places) == 1
+
+
+class TestArrivalBlock:
+    """Fig. 1(c): phase transition + periodic budget conversion."""
+
+    def test_phase_interval(self, net_with_proc):
+        net, proc = net_with_proc
+        add_task_blocks(net, make_task(), 3, proc)
+        assert net.transition("tph_X").interval == TimeInterval.point(2)
+
+    def test_period_interval(self, net_with_proc):
+        net, proc = net_with_proc
+        add_task_blocks(net, make_task(), 3, proc)
+        assert net.transition("ta_X").interval == TimeInterval.point(20)
+
+    def test_budget_weight_is_n_minus_1(self, net_with_proc):
+        """The figure's a_i arc weight: remaining instances."""
+        net, proc = net_with_proc
+        add_task_blocks(net, make_task(), 5, proc)
+        assert net.output_weight("tph_X", "pwa_X") == 4
+
+    def test_single_instance_has_no_budget(self, net_with_proc):
+        net, proc = net_with_proc
+        nodes = add_task_blocks(net, make_task(), 1, proc)
+        assert nodes.wait_arrival is None
+        assert nodes.arrival_t is None
+        assert not net.has_place("pwa_X")
+
+    def test_arrival_marks_release_and_deadline(self, net_with_proc):
+        net, proc = net_with_proc
+        add_task_blocks(net, make_task(), 3, proc)
+        for t in ("tph_X", "ta_X"):
+            assert net.output_weight(t, "pwr_X") == 1
+            assert net.output_weight(t, "pwd_X") == 1
+
+    def test_zero_instances_rejected(self, net_with_proc):
+        net, proc = net_with_proc
+        with pytest.raises(NetConstructionError):
+            add_task_blocks(net, make_task(), 0, proc)
+
+
+class TestDeadlineBlock:
+    """Fig. 1(d): t_d [d, d] marks the undesirable p_dm place."""
+
+    def test_deadline_interval(self, net_with_proc):
+        net, proc = net_with_proc
+        add_task_blocks(net, make_task(deadline=10), 2, proc)
+        assert net.transition("td_X").interval == TimeInterval.point(10)
+
+    def test_miss_place_role(self, net_with_proc):
+        net, proc = net_with_proc
+        add_task_blocks(net, make_task(), 2, proc)
+        assert net.place("pdm_X").role == "deadline-miss"
+
+    def test_compact_finisher_cancels_timer(self, net_with_proc):
+        net, proc = net_with_proc
+        nodes = add_task_blocks(net, make_task(), 2, proc)
+        # compact NP: the computation consumes the deadline token
+        assert net.input_weight("pwd_X", nodes.finisher) == 1
+
+    def test_expanded_cancel_chain(self, net_with_proc):
+        net, proc = net_with_proc
+        nodes = add_task_blocks(
+            net, make_task(), 2, proc, style=BlockStyle.EXPANDED
+        )
+        assert nodes.cancel_t == "tpc_X"
+        assert net.input_weight("pwd_X", "tpc_X") == 1
+        assert net.input_weight("pwpc_X", "tpc_X") == 1
+        assert net.output_weight("tf_X", "pwpc_X") == 1
+
+
+class TestNonPreemptiveStructure:
+    """Fig. 2(a): t_r [r, d−c], t_g [0,0], t_c [c, c]."""
+
+    def test_release_window(self, net_with_proc):
+        net, proc = net_with_proc
+        add_task_blocks(
+            net, make_task(release=1, deadline=10, computation=3),
+            2, proc,
+        )
+        assert net.transition("tr_X").interval == TimeInterval(1, 7)
+
+    def test_grant_is_immediate_and_takes_processor(
+        self, net_with_proc
+    ):
+        net, proc = net_with_proc
+        add_task_blocks(net, make_task(), 2, proc)
+        grant = net.transition("tg_X")
+        assert grant.interval.is_immediate
+        assert net.input_weight(proc, "tg_X") == 1
+
+    def test_computation_interval_and_processor_return(
+        self, net_with_proc
+    ):
+        net, proc = net_with_proc
+        add_task_blocks(net, make_task(computation=3), 2, proc)
+        assert net.transition("tc_X").interval == TimeInterval.point(3)
+        assert net.output_weight("tc_X", proc) == 1
+
+    def test_compact_has_no_finish_transition(self, net_with_proc):
+        net, proc = net_with_proc
+        nodes = add_task_blocks(net, make_task(), 2, proc)
+        assert nodes.finish_t is None
+        assert nodes.finisher == "tc_X"
+
+    def test_expanded_has_finish_transition(self, net_with_proc):
+        net, proc = net_with_proc
+        nodes = add_task_blocks(
+            net, make_task(), 2, proc, style=BlockStyle.EXPANDED
+        )
+        assert nodes.finish_t == "tf_X"
+        assert net.output_weight("tf_X", "pf_X") == 1
+
+
+class TestPreemptiveStructure:
+    """Fig. 2(b): unit subtasks with weight-c arcs."""
+
+    def _preemptive(self, net, proc, computation=4):
+        task = make_task(
+            computation=computation,
+            scheduling=SchedulingType.PREEMPTIVE,
+        )
+        return add_task_blocks(net, task, 2, proc)
+
+    def test_unit_computation(self, net_with_proc):
+        net, proc = net_with_proc
+        self._preemptive(net, proc)
+        assert net.transition("tc_X").interval == TimeInterval.point(1)
+
+    def test_weight_c_release_arc(self, net_with_proc):
+        """The figure's weight-c arc from release into the grant pool."""
+        net, proc = net_with_proc
+        self._preemptive(net, proc, computation=4)
+        assert net.output_weight("tr_X", "pwg_X") == 4
+
+    def test_weight_c_finish_arc(self, net_with_proc):
+        net, proc = net_with_proc
+        nodes = self._preemptive(net, proc, computation=4)
+        assert nodes.finish_t == "tf_X"
+        assert net.input_weight("pwf_X", "tf_X") == 4
+
+    def test_each_unit_cycles_processor(self, net_with_proc):
+        net, proc = net_with_proc
+        self._preemptive(net, proc)
+        assert net.input_weight(proc, "tg_X") == 1
+        assert net.output_weight("tc_X", proc) == 1
+
+
+class TestForkJoin:
+    def test_fork(self):
+        net = TimePetriNet("f")
+        net.add_place("pst_A")
+        net.add_place("pst_B")
+        add_fork_block(net, ["pst_A", "pst_B"])
+        assert net.place("pstart").marking == 1
+        assert net.transition("tstart").interval.is_immediate
+        assert net.output_weight("tstart", "pst_A") == 1
+        assert net.output_weight("tstart", "pst_B") == 1
+
+    def test_join_weights_are_instance_counts(self):
+        net = TimePetriNet("j")
+        net.add_place("pf_A")
+        net.add_place("pf_B")
+        end = add_join_block(net, {"pf_A": 3, "pf_B": 1})
+        assert end == "pend"
+        assert net.input_weight("pf_A", "tend") == 3
+        assert net.input_weight("pf_B", "tend") == 1
+
+
+class TestFiringCounts:
+    def test_compact_np_is_four(self):
+        assert (
+            firings_per_instance(make_task(), BlockStyle.COMPACT) == 4
+        )
+
+    def test_expanded_np_is_six(self):
+        assert (
+            firings_per_instance(make_task(), BlockStyle.EXPANDED) == 6
+        )
+
+    def test_preemptive_compact(self):
+        task = make_task(
+            computation=5, scheduling=SchedulingType.PREEMPTIVE
+        )
+        # arrival + release + 5*(grant+compute) + finish = 13
+        assert firings_per_instance(task, BlockStyle.COMPACT) == 13
+
+    def test_minimum_schedule_firings_matches_paper(self):
+        from repro.spec import mine_pump, schedule_period
+        from repro.spec.timing import instance_count
+
+        spec = mine_pump()
+        period = schedule_period(spec)
+        pairs = [
+            (t, instance_count(t, period)) for t in spec.tasks
+        ]
+        assert minimum_schedule_firings(pairs) == 3130
+
+
+class TestSanitize:
+    def test_passthrough(self):
+        assert sanitize("Task_1") == "Task_1"
+
+    def test_replaces_special(self):
+        assert sanitize("my task!") == "my_task_"
+
+    def test_empty_rejected(self):
+        with pytest.raises(NetConstructionError):
+            sanitize("")

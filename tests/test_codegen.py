@@ -1,0 +1,227 @@
+"""Tests for scheduled C code generation."""
+
+import shutil
+
+import pytest
+
+from repro.blocks import compose
+from repro.codegen import (
+    TARGETS,
+    banner,
+    block_comment,
+    c_identifier,
+    generate_project,
+    get_target,
+    include_guard,
+    indent,
+    render_dispatcher,
+    render_paper_style,
+    render_schedule_header,
+    render_schedule_source,
+    render_tasks_source,
+)
+from repro.errors import CodeGenError
+from repro.scheduler import find_schedule, schedule_from_result
+from repro.spec import fig8_preemptive, mine_pump
+
+
+@pytest.fixture(scope="module")
+def fig8_bundle():
+    model = compose(fig8_preemptive())
+    result = find_schedule(model)
+    schedule = schedule_from_result(model, result)
+    return model, schedule
+
+
+class TestTemplates:
+    def test_c_identifier(self):
+        assert c_identifier("TaskA") == "TaskA"
+        assert c_identifier("my-task 1") == "my_task_1"
+        assert c_identifier("9lives") == "_9lives"
+
+    def test_c_identifier_empty_rejected(self):
+        with pytest.raises(CodeGenError):
+            c_identifier("")
+        # special characters sanitise to underscores
+        assert c_identifier("***") == "___"
+        assert c_identifier("a*b") == "a_b"
+
+    def test_banner(self):
+        text = banner("Title", "line one")
+        assert text.startswith("/*")
+        assert text.endswith("*/")
+        assert "Title" in text
+
+    def test_include_guard(self):
+        guarded = include_guard("schedule", "int x;")
+        assert "#ifndef EZRT_SCHEDULE_H" in guarded
+        assert guarded.strip().endswith("#endif /* EZRT_SCHEDULE_H */")
+
+    def test_indent(self):
+        assert indent("a\nb") == "    a\n    b"
+        assert indent("a", levels=2) == "        a"
+
+    def test_block_comment(self):
+        assert block_comment("hi") == "/* hi */"
+        multi = block_comment("a\nb")
+        assert multi.startswith("/*") and multi.endswith("*/")
+
+
+class TestPaperStyleTable:
+    def test_format(self, fig8_bundle):
+        _model, schedule = fig8_bundle
+        text = render_paper_style(schedule.items)
+        lines = text.splitlines()
+        assert lines[0] == (
+            "struct ScheduleItem scheduleTable [SCHEDULE_SIZE] ="
+        )
+        assert lines[1].startswith("{{")
+        assert lines[-1] == "};"
+        # every row but the last ends with a comma before the comment
+        for line in lines[1:-2]:
+            assert "}, /*" in line
+        assert "} /*" in lines[-2]
+
+    def test_short_labels(self, fig8_bundle):
+        _model, schedule = fig8_bundle
+        short = render_paper_style(schedule.items, short_labels=True)
+        assert "/* A1 starts */" in short
+        full = render_paper_style(schedule.items, short_labels=False)
+        assert "/* TaskA1 starts */" in full
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(CodeGenError):
+            render_paper_style([])
+
+    def test_unsorted_rejected(self, fig8_bundle):
+        _model, schedule = fig8_bundle
+        items = list(reversed(schedule.items))
+        with pytest.raises(CodeGenError):
+            render_paper_style(items)
+
+
+class TestEmitters:
+    def test_header_constants(self, fig8_bundle):
+        model, schedule = fig8_bundle
+        header = render_schedule_header(model, schedule)
+        assert (
+            f"#define EZRT_SCHEDULE_SIZE {len(schedule.items)}u"
+            in header
+        )
+        assert "#define EZRT_SCHEDULE_PERIOD 34u" in header
+        assert "struct ScheduleItem" in header
+
+    def test_source_has_comments(self, fig8_bundle):
+        model, schedule = fig8_bundle
+        source = render_schedule_source(model, schedule)
+        assert "/* TaskB1 preempts TaskA1 */" in source
+        assert "scheduleTable[EZRT_SCHEDULE_SIZE]" in source
+
+    def test_tasks_source_embeds_bodies(self):
+        model = compose(mine_pump())
+        source = render_tasks_source(model)
+        assert "pump_motor_control();" in source
+        assert "void PMC(void)" in source
+        assert "#ifdef EZRT_HOSTSIM" in source
+
+    def test_dispatcher_per_target(self, fig8_bundle):
+        model, _schedule = fig8_bundle
+        for name, profile in TARGETS.items():
+            text = render_dispatcher(model, profile)
+            assert profile.isr_signature.splitlines()[0] in text
+            if name == "8051":
+                assert "interrupt 1" in text
+            if name == "arm9":
+                assert '__attribute__((interrupt("IRQ")))' in text
+
+    def test_get_target_unknown(self):
+        with pytest.raises(CodeGenError):
+            get_target("z80")
+
+
+class TestProjectGeneration:
+    def test_file_set(self, fig8_bundle):
+        model, schedule = fig8_bundle
+        project = generate_project(model, schedule)
+        assert set(project.files) == {
+            "ezrt_schedule.h",
+            "ezrt_schedule.c",
+            "ezrt_tasks.h",
+            "ezrt_tasks.c",
+            "ezrt_dispatcher.c",
+            "main.c",
+            "Makefile",
+            "README.txt",
+        }
+        assert project.source_files == [
+            "ezrt_dispatcher.c",
+            "ezrt_schedule.c",
+            "ezrt_tasks.c",
+            "main.c",
+        ]
+
+    def test_write(self, tmp_path, fig8_bundle):
+        model, schedule = fig8_bundle
+        project = generate_project(model, schedule)
+        paths = project.write(str(tmp_path / "out"))
+        assert len(paths) == 8
+        content = (tmp_path / "out" / "ezrt_schedule.c").read_text()
+        assert "scheduleTable" in content
+
+    def test_embedded_targets_not_runnable(self, tmp_path, fig8_bundle):
+        model, schedule = fig8_bundle
+        project = generate_project(model, schedule, "8051")
+        with pytest.raises(CodeGenError, match="not runnable"):
+            project.compile_and_run(str(tmp_path / "x"))
+
+    def test_empty_schedule_rejected(self, fig8_bundle):
+        from repro.scheduler import TaskLevelSchedule
+
+        model, _schedule = fig8_bundle
+        empty = TaskLevelSchedule(
+            segments=[], items=[], schedule_period=34
+        )
+        with pytest.raises(CodeGenError):
+            generate_project(model, empty)
+
+    def test_readme_mentions_tasks(self, fig8_bundle):
+        model, schedule = fig8_bundle
+        project = generate_project(model, schedule)
+        readme = project.files["README.txt"]
+        assert "TaskA" in readme and "schedule period" in readme
+
+
+@pytest.mark.skipif(
+    shutil.which("cc") is None, reason="no host C compiler"
+)
+class TestCompileAndRun:
+    def test_fig8_hostsim_runs(self, tmp_path, fig8_bundle):
+        model, schedule = fig8_bundle
+        project = generate_project(model, schedule, "hostsim")
+        output = project.compile_and_run(str(tmp_path / "build"))
+        assert "schedule period 34 finished" in output
+        assert "12 dispatches" in output
+        assert "5 resumes" in output
+
+    def test_mine_pump_hostsim_runs(self, tmp_path):
+        model = compose(mine_pump())
+        result = find_schedule(model)
+        schedule = schedule_from_result(model, result)
+        project = generate_project(model, schedule, "hostsim")
+        output = project.compile_and_run(str(tmp_path / "build"))
+        assert "schedule period 30000 finished" in output
+        assert "782 dispatches" in output
+
+    def test_dispatch_order_matches_table(self, tmp_path, fig8_bundle):
+        model, schedule = fig8_bundle
+        project = generate_project(model, schedule, "hostsim")
+        output = project.compile_and_run(str(tmp_path / "build"))
+        dispatched = [
+            line.split("(")[1].rstrip(")")
+            for line in output.splitlines()
+            if line.startswith("t=") and "dispatch" in line
+        ]
+        fresh_starts = [
+            item.task for item in schedule.items if not item.preempted
+        ]
+        assert dispatched == fresh_starts

@@ -1,0 +1,131 @@
+"""Tests for DOT export and the name-addressed marking view."""
+
+import pytest
+
+from repro.errors import NetConstructionError
+from repro.tpn import (
+    MarkingView,
+    TimeInterval,
+    TimePetriNet,
+    explore,
+    net_to_dot,
+    reachability_to_dot,
+)
+
+
+class TestMarkingView:
+    def test_name_access(self, simple_net):
+        compiled = simple_net.compile()
+        view = MarkingView(compiled, compiled.m0)
+        assert view["p0"] == 1
+        assert view["done"] == 0
+
+    def test_mapping_protocol(self, simple_net):
+        compiled = simple_net.compile()
+        view = MarkingView(compiled, compiled.m0)
+        assert len(view) == 4
+        assert set(view) == set(compiled.place_names)
+        assert dict(view)["proc"] == 1
+
+    def test_marked_and_totals(self, simple_net):
+        compiled = simple_net.compile()
+        view = MarkingView(compiled, compiled.m0)
+        assert view.marked() == ("p0", "proc")
+        assert view.total_tokens() == 2
+
+    def test_as_dict_sparse_and_dense(self, simple_net):
+        compiled = simple_net.compile()
+        view = MarkingView(compiled, compiled.m0)
+        assert view.as_dict() == {"p0": 1, "proc": 1}
+        dense = view.as_dict(sparse=False)
+        assert dense["p1"] == 0 and len(dense) == 4
+
+    def test_from_dict(self, simple_net):
+        compiled = simple_net.compile()
+        view = MarkingView.from_dict(compiled, {"done": 2})
+        assert view.vector == (0, 0, 0, 2)
+
+    def test_from_dict_unknown_place(self, simple_net):
+        compiled = simple_net.compile()
+        with pytest.raises(NetConstructionError):
+            MarkingView.from_dict(compiled, {"ghost": 1})
+
+    def test_from_dict_negative(self, simple_net):
+        compiled = simple_net.compile()
+        with pytest.raises(NetConstructionError):
+            MarkingView.from_dict(compiled, {"done": -1})
+
+    def test_wrong_length_rejected(self, simple_net):
+        compiled = simple_net.compile()
+        with pytest.raises(NetConstructionError):
+            MarkingView(compiled, (1, 2))
+
+    def test_unknown_lookup(self, simple_net):
+        compiled = simple_net.compile()
+        view = MarkingView(compiled, compiled.m0)
+        with pytest.raises(NetConstructionError):
+            view["ghost"]
+
+    def test_repr_sparse(self, simple_net):
+        compiled = simple_net.compile()
+        view = MarkingView(compiled, compiled.m0)
+        assert "p0=1" in repr(view)
+
+
+class TestNetToDot:
+    def test_structure(self, simple_net):
+        dot = net_to_dot(simple_net)
+        assert dot.startswith('digraph "simple"')
+        assert '"p0" [shape=circle' in dot
+        assert '"t_start" [shape=box' in dot
+        assert '"p0" -> "t_start"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_interval_in_label(self, simple_net):
+        dot = net_to_dot(simple_net)
+        assert "[2, 4]" in dot
+
+    def test_weights_labelled(self):
+        net = TimePetriNet("w")
+        net.add_place("p", marking=5)
+        net.add_transition("t", TimeInterval(1, 1))
+        net.add_arc("p", "t", 3)
+        dot = net_to_dot(net)
+        assert '[label="3"]' in dot
+
+    def test_miss_places_highlighted(self, fig8_model):
+        dot = net_to_dot(fig8_model.net)
+        assert "fillcolor" in dot
+
+    def test_priority_shown(self, fig8_model):
+        dot = net_to_dot(fig8_model.net)
+        assert "π=" in dot
+
+    def test_escaping(self):
+        net = TimePetriNet('has"quote')
+        net.add_place("p", marking=1)
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        dot = net_to_dot(net)
+        assert '\\"' in dot
+
+
+class TestReachabilityToDot:
+    def test_basic(self, simple_net):
+        compiled = simple_net.compile()
+        graph = explore(compiled, earliest_only=False)
+        dot = reachability_to_dot(compiled, graph)
+        assert "s0" in dot and "s1" in dot
+        assert "t_start,2" in dot
+
+    def test_final_states_double_circled(self, simple_net):
+        compiled = simple_net.compile()
+        graph = explore(compiled, earliest_only=False)
+        dot = reachability_to_dot(compiled, graph)
+        assert "peripheries=2" in dot
+
+    def test_truncation_note(self, mine_pump_model):
+        compiled = mine_pump_model.net.compile()
+        graph = explore(compiled, max_states=30, earliest_only=True)
+        dot = reachability_to_dot(compiled, graph, max_states=10)
+        assert "more states" in dot

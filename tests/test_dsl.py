@@ -1,0 +1,276 @@
+"""Tests for the ez-spec XML DSL (paper Fig. 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DSLError
+from repro.spec import (
+    PAPER_FIG7_SNIPPET,
+    SchedulingType,
+    SpecBuilder,
+    dumps,
+    load,
+    loads,
+    mine_pump,
+    save,
+)
+
+
+class TestPaperSnippet:
+    def test_parses_verbatim(self):
+        spec = loads(PAPER_FIG7_SNIPPET)
+        assert [t.name for t in spec.tasks] == ["T1", "T2"]
+
+    def test_field_mapping(self):
+        """The figure's element names map onto the metamodel fields."""
+        spec = loads(PAPER_FIG7_SNIPPET)
+        t1 = spec.task("T1")
+        assert t1.period == 9
+        assert t1.computation == 1  # <computing>
+        assert t1.deadline == 9
+        assert t1.energy == 10  # <power>
+        assert t1.scheduling is SchedulingType.NON_PREEMPTIVE  # NP
+        assert t1.identifier == "ez1151891"
+
+    def test_reference_resolution(self):
+        spec = loads(PAPER_FIG7_SNIPPET)
+        assert spec.precedence_pairs() == [("T1", "T2")]
+
+    def test_processor_reference_resolution(self):
+        spec = loads(PAPER_FIG7_SNIPPET)
+        # <processor>p124365</processor> resolves via the Processor
+        # element's identifier to its name
+        assert spec.task("T1").processor == "mcu0"
+        assert spec.processors[0].identifier == "p124365"
+
+
+class TestRoundTrip:
+    def specs(self):
+        yield mine_pump()
+        yield (
+            SpecBuilder("rel")
+            .processor("cpu")
+            .task("A", computation=1, deadline=5, period=10, phase=2,
+                  release=1, energy=7, code="a();")
+            .task("B", computation=2, deadline=10, period=10,
+                  scheduling="P")
+            .precedence("A", "B")
+            .exclusion("A", "B")
+            .message("m", sender="A", receiver="B", communication=2,
+                     bus="can0", grant_bus=1)
+            .build()
+        )
+
+    def test_roundtrip_all_fields(self):
+        for spec in self.specs():
+            reparsed = loads(dumps(spec))
+            assert [t.name for t in reparsed.tasks] == [
+                t.name for t in spec.tasks
+            ]
+            for original in spec.tasks:
+                parsed = reparsed.task(original.name)
+                assert parsed.computation == original.computation
+                assert parsed.deadline == original.deadline
+                assert parsed.period == original.period
+                assert parsed.release == original.release
+                assert parsed.phase == original.phase
+                assert parsed.energy == original.energy
+                assert parsed.scheduling is original.scheduling
+                assert parsed.identifier == original.identifier
+                assert sorted(parsed.precedes_tasks) == sorted(
+                    original.precedes_tasks
+                )
+                assert sorted(parsed.excludes_tasks) == sorted(
+                    original.excludes_tasks
+                )
+                if original.code:
+                    assert parsed.code.content == original.code.content
+            assert reparsed.precedence_pairs() == (
+                spec.precedence_pairs()
+            )
+            assert reparsed.exclusion_pairs() == spec.exclusion_pairs()
+            for orig_msg, parsed_msg in zip(
+                spec.messages, reparsed.messages
+            ):
+                assert parsed_msg.bus == orig_msg.bus
+                assert (
+                    parsed_msg.communication == orig_msg.communication
+                )
+                assert parsed_msg.grant_bus == orig_msg.grant_bus
+                assert parsed_msg.sender == orig_msg.sender
+                assert parsed_msg.precedes == orig_msg.precedes
+
+    def test_file_roundtrip(self, tmp_path):
+        spec = mine_pump()
+        path = str(tmp_path / "spec.xml")
+        save(spec, path)
+        assert [t.name for t in load(path).tasks] == [
+            t.name for t in spec.tasks
+        ]
+
+
+class TestLenientParsing:
+    def test_one_sided_exclusion_symmetrised(self):
+        document = """<?xml version="1.0"?>
+        <rt:ez-spec xmlns:rt="http://pnmp.sf.net/EZRealtime">
+        <Task identifier="a" excludesTasks="#b">
+          <name>A</name><period>10</period><computing>1</computing>
+          <deadline>5</deadline>
+        </Task>
+        <Task identifier="b">
+          <name>B</name><period>10</period><computing>1</computing>
+          <deadline>5</deadline>
+        </Task>
+        </rt:ez-spec>"""
+        spec = loads(document)
+        assert spec.exclusion_pairs() == [("A", "B")]
+
+    def test_bare_name_references(self):
+        document = """<?xml version="1.0"?>
+        <rt:ez-spec xmlns:rt="http://pnmp.sf.net/EZRealtime">
+        <Task identifier="a" precedesTasks="B">
+          <name>A</name><period>10</period><computing>1</computing>
+          <deadline>5</deadline>
+        </Task>
+        <Task identifier="b">
+          <name>B</name><period>10</period><computing>1</computing>
+          <deadline>5</deadline>
+        </Task>
+        </rt:ez-spec>"""
+        assert loads(document).precedence_pairs() == [("A", "B")]
+
+    def test_schedulingmode_defaults_to_np(self):
+        document = """<?xml version="1.0"?>
+        <rt:ez-spec xmlns:rt="http://pnmp.sf.net/EZRealtime">
+        <Task identifier="a">
+          <name>A</name><period>10</period><computing>1</computing>
+          <deadline>5</deadline>
+        </Task>
+        </rt:ez-spec>"""
+        task = loads(document).task("A")
+        assert task.scheduling is SchedulingType.NON_PREEMPTIVE
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(DSLError, match="malformed"):
+            loads("<rt:ez-spec")
+
+    def test_wrong_root(self):
+        with pytest.raises(DSLError, match="expected rt:ez-spec"):
+            loads("<wrong/>")
+
+    def test_unknown_element(self):
+        with pytest.raises(DSLError, match="unknown ez-spec element"):
+            loads(
+                '<rt:ez-spec xmlns:rt="http://pnmp.sf.net/EZRealtime">'
+                "<Widget/></rt:ez-spec>"
+            )
+
+    def test_task_without_name(self):
+        with pytest.raises(DSLError, match="lacks a name"):
+            loads(
+                '<rt:ez-spec xmlns:rt="http://pnmp.sf.net/EZRealtime">'
+                "<Task identifier='x'><period>5</period>"
+                "<computing>1</computing><deadline>5</deadline>"
+                "</Task></rt:ez-spec>"
+            )
+
+    def test_missing_computing(self):
+        with pytest.raises(DSLError, match="missing computing"):
+            loads(
+                '<rt:ez-spec xmlns:rt="http://pnmp.sf.net/EZRealtime">'
+                "<Task identifier='x'><name>A</name>"
+                "<period>5</period><deadline>5</deadline>"
+                "</Task></rt:ez-spec>"
+            )
+
+    def test_unresolved_reference(self):
+        with pytest.raises(DSLError, match="unresolved reference"):
+            loads(
+                '<rt:ez-spec xmlns:rt="http://pnmp.sf.net/EZRealtime">'
+                "<Task identifier='x' precedesTasks='#ghost'>"
+                "<name>A</name><period>5</period>"
+                "<computing>1</computing><deadline>5</deadline>"
+                "</Task></rt:ez-spec>"
+            )
+
+    def test_non_integer_field(self):
+        with pytest.raises(DSLError, match="must be an integer"):
+            loads(
+                '<rt:ez-spec xmlns:rt="http://pnmp.sf.net/EZRealtime">'
+                "<Task identifier='x'><name>A</name>"
+                "<period>ten</period><computing>1</computing>"
+                "<deadline>5</deadline></Task></rt:ez-spec>"
+            )
+
+    def test_invalid_spec_caught_by_validation(self):
+        document = """<?xml version="1.0"?>
+        <rt:ez-spec xmlns:rt="http://pnmp.sf.net/EZRealtime">
+        <Task identifier="a">
+          <name>A</name><period>5</period><computing>9</computing>
+          <deadline>5</deadline>
+        </Task>
+        </rt:ez-spec>"""
+        with pytest.raises(Exception):
+            loads(document)
+        # but parsing alone succeeds when validation is off
+        spec = loads(document, validate=False)
+        assert spec.task("A").computation == 9
+
+
+@st.composite
+def random_specs(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    builder = SpecBuilder(
+        draw(st.text(alphabet="abcdef", min_size=1, max_size=8))
+    ).processor("proc0")
+    period_pool = [5, 10, 20, 25, 50]
+    names = []
+    for i in range(n):
+        period = draw(st.sampled_from(period_pool))
+        computation = draw(st.integers(1, max(1, period // 2)))
+        deadline = draw(st.integers(computation, period))
+        release = draw(
+            st.integers(0, max(0, deadline - computation))
+        )
+        builder.task(
+            f"T{i}",
+            computation=computation,
+            deadline=deadline,
+            period=period,
+            release=release,
+            phase=draw(st.integers(0, 3)),
+            scheduling=draw(st.sampled_from(["NP", "P"])),
+            energy=draw(st.integers(0, 50)),
+        )
+        names.append(f"T{i}")
+    return builder.build()
+
+
+class TestRoundTripProperty:
+    @given(random_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_dsl_roundtrip_lossless(self, spec):
+        reparsed = loads(dumps(spec))
+        assert len(reparsed.tasks) == len(spec.tasks)
+        for original in spec.tasks:
+            parsed = reparsed.task(original.name)
+            assert (
+                parsed.computation,
+                parsed.deadline,
+                parsed.period,
+                parsed.release,
+                parsed.phase,
+                parsed.energy,
+                parsed.scheduling,
+            ) == (
+                original.computation,
+                original.deadline,
+                original.period,
+                original.release,
+                original.phase,
+                original.energy,
+                original.scheduling,
+            )

@@ -1,0 +1,101 @@
+"""Tests for energy accounting and dispatcher-overhead tolerance."""
+
+import pytest
+
+from repro.analysis import (
+    EnergyReport,
+    energy_report,
+    max_tolerable_overhead,
+)
+from repro.blocks import compose
+from repro.scheduler import find_schedule, schedule_from_result
+from repro.spec import SpecBuilder
+
+
+@pytest.fixture
+def energetic_bundle():
+    spec = (
+        SpecBuilder("power")
+        .task("HOT", computation=4, deadline=10, period=20, energy=5)
+        .task("COOL", computation=2, deadline=20, period=20, energy=1)
+        .build()
+    )
+    model = compose(spec)
+    schedule = schedule_from_result(model, find_schedule(model))
+    return model, schedule
+
+
+class TestEnergyReport:
+    def test_per_task_energy(self, energetic_bundle):
+        model, schedule = energetic_bundle
+        result = energy_report(model, schedule)
+        assert result.per_task == {"HOT": 20, "COOL": 2}
+        assert result.busy_energy == 22
+        assert result.idle_energy == 0
+        assert result.total == 22
+
+    def test_idle_power(self, energetic_bundle):
+        model, schedule = energetic_bundle
+        result = energy_report(model, schedule, idle_power=2)
+        # PS=20, busy=6 -> 14 idle units at power 2
+        assert result.idle_energy == 28
+        assert result.total == 50
+
+    def test_average_power(self, energetic_bundle):
+        model, schedule = energetic_bundle
+        result = energy_report(model, schedule)
+        assert result.average_power == pytest.approx(22 / 20)
+
+    def test_str(self, energetic_bundle):
+        model, schedule = energetic_bundle
+        text = str(energy_report(model, schedule))
+        assert "HOT=20" in text and "avg power" in text
+
+    def test_zero_period_guard(self):
+        report = EnergyReport(
+            per_task={}, busy_energy=0, idle_energy=0,
+            schedule_period=0,
+        )
+        assert report.average_power == 0.0
+
+    def test_energy_scales_with_instances(self):
+        spec = (
+            SpecBuilder("scale")
+            .task("T", computation=1, deadline=5, period=5, energy=3)
+            .task("BG", computation=1, deadline=20, period=20)
+            .build()
+        )
+        model = compose(spec)
+        schedule = schedule_from_result(model, find_schedule(model))
+        result = energy_report(model, schedule)
+        # 4 instances of T over PS=20, 1 unit each at power 3
+        assert result.per_task["T"] == 12
+
+
+class TestOverheadTolerance:
+    def test_slack_free_schedule_tolerates_nothing(self):
+        spec = (
+            SpecBuilder("tight")
+            .task("A", computation=5, deadline=5, period=10)
+            .task("B", computation=5, deadline=10, period=10)
+            .build()
+        )
+        model = compose(spec)
+        schedule = schedule_from_result(model, find_schedule(model))
+        assert max_tolerable_overhead(model, schedule) == 0
+
+    def test_slack_rich_schedule_tolerates_some(self):
+        spec = (
+            SpecBuilder("loose")
+            .task("A", computation=1, deadline=20, period=20)
+            .build()
+        )
+        model = compose(spec)
+        schedule = schedule_from_result(model, find_schedule(model))
+        tolerance = max_tolerable_overhead(model, schedule, limit=30)
+        assert tolerance >= 10  # one dispatch, 19 units of slack
+
+    def test_limit_caps_search(self, energetic_bundle):
+        model, schedule = energetic_bundle
+        tolerance = max_tolerable_overhead(model, schedule, limit=2)
+        assert 0 <= tolerance <= 2

@@ -1,0 +1,169 @@
+"""Unit and property tests for static timing intervals."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NetConstructionError
+from repro.tpn import INF, TimeInterval
+
+
+class TestConstruction:
+    def test_basic(self):
+        interval = TimeInterval(2, 5)
+        assert interval.eft == 2
+        assert interval.lft == 5
+
+    def test_point(self):
+        assert TimeInterval.point(7) == TimeInterval(7, 7)
+
+    def test_zero(self):
+        zero = TimeInterval.zero()
+        assert zero.is_immediate
+        assert zero.is_punctual
+
+    def test_unbounded(self):
+        interval = TimeInterval.unbounded(3)
+        assert interval.eft == 3
+        assert interval.is_unbounded
+
+    def test_inverted_rejected(self):
+        with pytest.raises(NetConstructionError):
+            TimeInterval(5, 2)
+
+    def test_negative_eft_rejected(self):
+        with pytest.raises(NetConstructionError):
+            TimeInterval(-1, 2)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(NetConstructionError):
+            TimeInterval(1.5, 2)  # type: ignore[arg-type]
+        with pytest.raises(NetConstructionError):
+            TimeInterval(1, 2.5)  # type: ignore[arg-type]
+
+    def test_bool_rejected(self):
+        with pytest.raises(NetConstructionError):
+            TimeInterval(True, 2)  # type: ignore[arg-type]
+
+
+class TestParse:
+    def test_plain(self):
+        assert TimeInterval.parse("[3, 7]") == TimeInterval(3, 7)
+
+    def test_whitespace(self):
+        assert TimeInterval.parse("  [ 0 ,  0 ] ") == TimeInterval.zero()
+
+    @pytest.mark.parametrize("upper", ["inf", "oo", "w", "INF"])
+    def test_infinite_upper(self, upper):
+        assert TimeInterval.parse(f"[2, {upper}]").is_unbounded
+
+    @pytest.mark.parametrize(
+        "text", ["", "3,7", "[3 7]", "[a, b]", "[3,]"]
+    )
+    def test_malformed(self, text):
+        with pytest.raises(NetConstructionError):
+            TimeInterval.parse(text)
+
+    def test_str_parse_roundtrip(self):
+        for interval in (
+            TimeInterval(0, 0),
+            TimeInterval(3, 9),
+            TimeInterval.unbounded(4),
+        ):
+            assert TimeInterval.parse(str(interval)) == interval
+
+
+class TestQueries:
+    def test_contains(self):
+        interval = TimeInterval(2, 5)
+        assert not interval.contains(1)
+        assert interval.contains(2)
+        assert interval.contains(5)
+        assert not interval.contains(6)
+
+    def test_contains_unbounded(self):
+        assert TimeInterval.unbounded(2).contains(10**9)
+
+    def test_width(self):
+        assert TimeInterval(2, 5).width == 3
+        assert TimeInterval.unbounded(2).width == INF
+
+    def test_intersect(self):
+        a = TimeInterval(2, 6)
+        b = TimeInterval(4, 9)
+        assert a.intersect(b) == TimeInterval(4, 6)
+
+    def test_intersect_disjoint(self):
+        assert TimeInterval(0, 2).intersect(TimeInterval(5, 6)) is None
+
+    def test_intersect_touching(self):
+        assert TimeInterval(0, 3).intersect(
+            TimeInterval(3, 6)
+        ) == TimeInterval.point(3)
+
+    def test_shift_positive(self):
+        assert TimeInterval(2, 5).shift(3) == TimeInterval(5, 8)
+
+    def test_shift_clamps_at_zero(self):
+        assert TimeInterval(1, 4).shift(-3) == TimeInterval(0, 1)
+
+    def test_shift_unbounded(self):
+        shifted = TimeInterval.unbounded(2).shift(5)
+        assert shifted.eft == 7
+        assert shifted.is_unbounded
+
+    def test_iter_values(self):
+        assert list(TimeInterval(2, 5).iter_values()) == [2, 3, 4, 5]
+
+    def test_iter_values_unbounded_rejected(self):
+        with pytest.raises(NetConstructionError):
+            TimeInterval.unbounded(0).iter_values()
+
+
+@st.composite
+def intervals(draw):
+    eft = draw(st.integers(min_value=0, max_value=500))
+    width = draw(st.integers(min_value=0, max_value=500))
+    return TimeInterval(eft, eft + width)
+
+
+class TestProperties:
+    @given(intervals())
+    def test_contains_endpoints(self, interval):
+        assert interval.contains(interval.eft)
+        assert interval.contains(int(interval.lft))
+
+    @given(intervals())
+    def test_str_parse_roundtrip(self, interval):
+        assert TimeInterval.parse(str(interval)) == interval
+
+    @given(intervals(), intervals())
+    def test_intersection_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(intervals(), intervals())
+    def test_intersection_is_subset(self, a, b):
+        result = a.intersect(b)
+        if result is not None:
+            assert result.eft >= a.eft and result.eft >= b.eft
+            assert result.lft <= a.lft and result.lft <= b.lft
+
+    @given(intervals())
+    def test_self_intersection_identity(self, a):
+        assert a.intersect(a) == a
+
+    @given(intervals(), st.integers(min_value=-100, max_value=100))
+    def test_shift_preserves_validity(self, interval, delta):
+        shifted = interval.shift(delta)
+        assert shifted.eft >= 0
+        assert shifted.lft >= shifted.eft
+
+    @given(intervals())
+    def test_iter_values_matches_width(self, interval):
+        values = list(interval.iter_values())
+        assert len(values) == interval.width + 1
+        assert all(interval.contains(v) for v in values)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_point_is_punctual(self, value):
+        assert TimeInterval.point(value).is_punctual

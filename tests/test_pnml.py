@@ -1,0 +1,231 @@
+"""Tests for PNML (ISO/IEC 15909-2) interchange."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PNMLError
+from repro.pnml import PNML_NS, TOOL_NAME, dumps, load, loads, save
+from repro.tpn import INF, TimeInterval, TimePetriNet
+
+
+def nets_equal(a: TimePetriNet, b: TimePetriNet) -> bool:
+    if a.place_names != b.place_names:
+        return False
+    if a.transition_names != b.transition_names:
+        return False
+    for place in a.places:
+        other = b.place(place.name)
+        if (place.marking, place.role, place.task, place.label) != (
+            other.marking,
+            other.role,
+            other.task,
+            other.label,
+        ):
+            return False
+    for transition in a.transitions:
+        other = b.transition(transition.name)
+        if (
+            transition.interval,
+            transition.priority,
+            transition.role,
+            transition.task,
+            transition.code,
+        ) != (
+            other.interval,
+            other.priority,
+            other.role,
+            other.task,
+            other.code,
+        ):
+            return False
+    for t in a.transition_names:
+        if a.preset(t) != b.preset(t) or a.postset(t) != b.postset(t):
+            return False
+    return a.final_marking == b.final_marking
+
+
+class TestWriter:
+    def test_document_structure(self, simple_net):
+        document = dumps(simple_net)
+        assert document.startswith("<?xml")
+        assert PNML_NS in document
+        assert "<place" in document and "<transition" in document
+        assert f'tool="{TOOL_NAME}"' in document
+
+    def test_weights_as_inscriptions(self):
+        net = TimePetriNet("w")
+        net.add_place("p", marking=3)
+        net.add_transition("t", TimeInterval(1, 2))
+        net.add_arc("p", "t", 3)
+        document = dumps(net)
+        assert "<inscription>" in document
+        assert "<text>3</text>" in document
+
+    def test_infinite_lft(self):
+        net = TimePetriNet("inf")
+        net.add_place("p", marking=1)
+        net.add_place("q")
+        net.add_transition("t", TimeInterval.unbounded(2))
+        net.add_arc("p", "t")
+        net.add_arc("t", "q")
+        document = dumps(net)
+        assert 'lft="inf"' in document
+
+
+class TestRoundTrip:
+    def test_simple_net(self, simple_net):
+        assert nets_equal(simple_net, loads(dumps(simple_net)))
+
+    def test_composed_fig3(self, fig3_model):
+        assert nets_equal(
+            fig3_model.net, loads(dumps(fig3_model.net))
+        )
+
+    def test_composed_fig4_expanded(self, expanded_options):
+        from repro.blocks import compose
+        from repro.spec import fig4_exclusion
+
+        model = compose(fig4_exclusion(), expanded_options)
+        assert nets_equal(model.net, loads(dumps(model.net)))
+
+    def test_mine_pump(self, mine_pump_model):
+        assert nets_equal(
+            mine_pump_model.net, loads(dumps(mine_pump_model.net))
+        )
+
+    def test_code_attachment_survives(self):
+        net = TimePetriNet("code")
+        net.add_place("p", marking=1)
+        net.add_place("q")
+        net.add_transition(
+            "t",
+            TimeInterval(1, 1),
+            code="do_work();\ncleanup();",
+            task="X",
+            role="compute",
+        )
+        net.add_arc("p", "t")
+        net.add_arc("t", "q")
+        parsed = loads(dumps(net))
+        assert parsed.transition("t").code == "do_work();\ncleanup();"
+
+    def test_file_roundtrip(self, tmp_path, simple_net):
+        path = str(tmp_path / "net.pnml")
+        save(simple_net, path)
+        assert nets_equal(simple_net, load(path))
+
+
+class TestReaderErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(PNMLError, match="malformed"):
+            loads("<pnml><net>")
+
+    def test_wrong_root(self):
+        with pytest.raises(PNMLError, match="expected <pnml>"):
+            loads("<notpnml/>")
+
+    def test_missing_net(self):
+        with pytest.raises(PNMLError, match="no <net>"):
+            loads(f'<pnml xmlns="{PNML_NS}"/>')
+
+    def test_arc_to_unknown_node(self):
+        document = f"""<pnml xmlns="{PNML_NS}"><net id="n" type="t">
+        <page id="pg">
+          <place id="p"/>
+          <arc id="a" source="p" target="ghost"/>
+        </page></net></pnml>"""
+        with pytest.raises(Exception):
+            loads(document)
+
+    def test_plain_ptnet_gets_default_intervals(self):
+        document = f"""<pnml xmlns="{PNML_NS}"><net id="n" type="t">
+        <page id="pg">
+          <place id="p"><initialMarking><text>1</text></initialMarking>
+          </place>
+          <transition id="t"/>
+          <arc id="a" source="p" target="t"/>
+        </page></net></pnml>"""
+        net = loads(document)
+        interval = net.transition("t").interval
+        assert interval.eft == 0 and interval.lft == INF
+
+    def test_nodes_directly_under_net(self):
+        # some tools omit <page>
+        document = f"""<pnml xmlns="{PNML_NS}"><net id="n" type="t">
+          <place id="p"/>
+          <transition id="t"/>
+          <arc id="a" source="p" target="t"/>
+        </net></pnml>"""
+        net = loads(document)
+        assert net.has_place("p") and net.has_transition("t")
+
+
+@st.composite
+def pnml_nets(draw):
+    n_places = draw(st.integers(min_value=1, max_value=6))
+    n_transitions = draw(st.integers(min_value=1, max_value=5))
+    net = TimePetriNet(
+        draw(st.text(alphabet="abcxyz", min_size=1, max_size=6))
+    )
+    for i in range(n_places):
+        net.add_place(
+            f"p{i}",
+            marking=draw(st.integers(0, 3)),
+            role=draw(
+                st.sampled_from([None, "deadline-miss", "exclusion"])
+            ),
+        )
+    for j in range(n_transitions):
+        eft = draw(st.integers(0, 9))
+        unbounded = draw(st.booleans())
+        interval = (
+            TimeInterval.unbounded(eft)
+            if unbounded
+            else TimeInterval(eft, eft + draw(st.integers(0, 9)))
+        )
+        net.add_transition(
+            f"t{j}",
+            interval,
+            priority=draw(st.integers(0, 100)),
+            task=draw(st.sampled_from([None, "A", "B"])),
+        )
+        inputs = draw(
+            st.lists(
+                st.integers(0, n_places - 1),
+                min_size=1,
+                max_size=3,
+                unique=True,
+            )
+        )
+        for p in inputs:
+            net.add_arc(f"p{p}", f"t{j}", draw(st.integers(1, 4)))
+        outputs = draw(
+            st.lists(
+                st.integers(0, n_places - 1),
+                min_size=0,
+                max_size=3,
+                unique=True,
+            )
+        )
+        for p in outputs:
+            net.add_arc(f"t{j}", f"p{p}", draw(st.integers(1, 4)))
+    if draw(st.booleans()):
+        net.set_final_marking(
+            {f"p{draw(st.integers(0, n_places - 1))}": 1}
+        )
+    return net
+
+
+class TestRoundTripProperty:
+    @given(pnml_nets())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_lossless(self, net):
+        assert nets_equal(net, loads(dumps(net)))
+
+    @given(pnml_nets())
+    @settings(max_examples=20, deadline=None)
+    def test_double_roundtrip_stable(self, net):
+        once = dumps(loads(dumps(net)))
+        twice = dumps(loads(once))
+        assert once == twice

@@ -1,0 +1,207 @@
+"""Tests for the dispatcher machine (simulated target hardware)."""
+
+import pytest
+
+from repro.blocks import compose
+from repro.errors import (
+    SimulationError,
+    TraceVerificationError,
+)
+from repro.scheduler import (
+    ScheduleItem,
+    find_schedule,
+    schedule_from_result,
+)
+from repro.sim import (
+    DispatcherMachine,
+    ensure_trace_ok,
+    run_schedule,
+    verify_trace,
+)
+from repro.spec import SpecBuilder, fig8_preemptive
+
+
+@pytest.fixture(scope="module")
+def fig8_bundle():
+    model = compose(fig8_preemptive())
+    result = find_schedule(model)
+    return model, schedule_from_result(model, result)
+
+
+class TestExecution:
+    def test_clean_run(self, fig8_bundle):
+        model, schedule = fig8_bundle
+        result = run_schedule(model, schedule)
+        assert result.ok
+        assert len(result.completions) == 7
+        assert verify_trace(model, result) == []
+
+    def test_completion_times_match_schedule(self, fig8_bundle):
+        model, schedule = fig8_bundle
+        result = run_schedule(model, schedule)
+        for task in model.spec.tasks:
+            for k in range(1, model.instances[task.name] + 1):
+                planned_end = schedule.segments_of(task.name, k)[-1].end
+                assert result.completions[(task.name, k)] == planned_end
+
+    def test_trace_segments_match_schedule(self, fig8_bundle):
+        model, schedule = fig8_bundle
+        result = run_schedule(model, schedule)
+        simulated = {
+            (s.task, s.instance, s.start, s.end)
+            for s in result.trace.to_segments()
+        }
+        planned = {
+            (s.task, s.instance, s.start, s.end)
+            for s in schedule.segments
+        }
+        assert simulated == planned
+
+    def test_idle_events_recorded(self, fig8_bundle):
+        model, schedule = fig8_bundle
+        result = run_schedule(model, schedule)
+        idle = result.trace.of_kind("idle")
+        # the machine runs to the required horizon (the last absolute
+        # deadline, 35 here, one tick past PS=34)
+        assert model.required_horizon() == 35
+        assert (
+            len(idle)
+            == model.required_horizon() - schedule.busy_time()
+        )
+
+    def test_trace_rendering(self, fig8_bundle):
+        model, schedule = fig8_bundle
+        result = run_schedule(model, schedule)
+        rendered = result.trace.render(limit=5)
+        assert "... " in rendered
+        assert "dispatch" in result.trace.summary()
+
+
+class TestOverhead:
+    def test_small_overhead_may_still_meet(self, fig8_bundle):
+        model, schedule = fig8_bundle
+        result = run_schedule(model, schedule, dispatch_overhead=0)
+        assert verify_trace(model, result) == []
+
+    def test_overhead_eats_computation(self):
+        """With overhead the instance cannot deliver its WCET before
+        the next dispatch: the verifier must flag it."""
+        spec = (
+            SpecBuilder("tight")
+            .task("A", computation=5, deadline=5, period=10)
+            .task("B", computation=5, deadline=10, period=10)
+            .build()
+        )
+        model = compose(spec)
+        schedule = schedule_from_result(model, find_schedule(model))
+        result = run_schedule(model, schedule, dispatch_overhead=1)
+        violations = verify_trace(model, result)
+        assert violations  # late or incomplete work
+
+    def test_negative_overhead_rejected(self, fig8_bundle):
+        model, _schedule = fig8_bundle
+        with pytest.raises(SimulationError):
+            DispatcherMachine(model, dispatch_overhead=-1)
+
+
+class TestUnderrun:
+    def test_early_completion_idles(self, fig8_bundle):
+        model, schedule = fig8_bundle
+        # WCET is 8; with 2 units TaskA1 finishes inside its first
+        # segment, so its scheduled resume at t=13 becomes a no-op
+        actual = {("TaskA", 1): 2}
+        result = run_schedule(
+            model, schedule, actual_durations=actual
+        )
+        assert result.ok
+        # resumes of the finished instance become no-ops
+        noop = result.trace.of_kind("noop-resume")
+        assert [
+            (e.task, e.instance) for e in noop
+        ] == [("TaskA", 1)]
+        assert verify_trace(model, result, actual) == []
+
+    def test_invalid_duration_rejected(self, fig8_bundle):
+        model, _schedule = fig8_bundle
+        with pytest.raises(SimulationError):
+            DispatcherMachine(
+                model, actual_durations={("TaskA", 1): 99}
+            )
+        with pytest.raises(SimulationError):
+            DispatcherMachine(
+                model, actual_durations={("GHOST", 1): 1}
+            )
+
+
+class TestFaultInjection:
+    """Corrupted schedule tables must be caught by the machine."""
+
+    def test_resume_without_context(self, fig8_bundle):
+        model, schedule = fig8_bundle
+        items = list(schedule.items)
+        # flip a fresh start into a bogus resume
+        first = items[0]
+        items[0] = ScheduleItem(
+            start=first.start,
+            preempted=True,
+            task_id=first.task_id,
+            task=first.task,
+            instance=first.instance,
+            comment="corrupted",
+        )
+        machine = DispatcherMachine(model)
+        result = machine.run(items)
+        assert any("no context" in e for e in result.errors)
+
+    def test_missing_resume_detected(self, fig8_bundle):
+        model, schedule = fig8_bundle
+        items = [
+            item for item in schedule.items if not item.preempted
+        ]
+        machine = DispatcherMachine(model)
+        result = machine.run(items)
+        assert any("never resumed" in e for e in result.errors)
+
+    def test_wrong_instance_order(self, fig8_bundle):
+        model, schedule = fig8_bundle
+        items = list(schedule.items)
+        first = items[0]
+        items[0] = ScheduleItem(
+            start=first.start,
+            preempted=False,
+            task_id=first.task_id,
+            task=first.task,
+            instance=7,
+            comment="corrupted",
+        )
+        machine = DispatcherMachine(model)
+        result = machine.run(items)
+        assert any("should be 1" in e for e in result.errors)
+
+    def test_empty_table_rejected(self, fig8_bundle):
+        model, _schedule = fig8_bundle
+        with pytest.raises(SimulationError):
+            DispatcherMachine(model).run([])
+
+    def test_ensure_trace_ok_raises(self, fig8_bundle):
+        model, schedule = fig8_bundle
+        items = [
+            item for item in schedule.items if not item.preempted
+        ]
+        result = DispatcherMachine(model).run(items)
+        with pytest.raises(TraceVerificationError) as info:
+            ensure_trace_ok(model, result)
+        assert info.value.violations
+
+
+class TestMinePumpExecution:
+    @pytest.mark.slow
+    def test_full_hyperperiod(self, mine_pump_model):
+        result_search = find_schedule(mine_pump_model)
+        schedule = schedule_from_result(
+            mine_pump_model, result_search
+        )
+        result = run_schedule(mine_pump_model, schedule)
+        assert result.ok
+        assert len(result.completions) == 782
+        assert verify_trace(mine_pump_model, result) == []

@@ -1,0 +1,268 @@
+"""Tests of the TLTS state semantics (Definition 3.1, ET/FT/DLB/DUB)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.tpn import (
+    DISABLED,
+    INF,
+    StateEngine,
+    TimeInterval,
+    TimePetriNet,
+)
+
+
+@pytest.fixture
+def engine(simple_net):
+    return StateEngine(simple_net.compile())
+
+
+class TestInitialState:
+    def test_clocks_zero_for_enabled(self, engine):
+        s0 = engine.initial_state()
+        assert s0.marking == (1, 1, 0, 0)
+        assert s0.clocks == (0, DISABLED)
+
+    def test_enabled_sets(self, engine):
+        s0 = engine.initial_state()
+        assert engine.enabled_transitions(s0.marking) == [0]
+        assert engine.enabled_from_state(s0) == [0]
+
+
+class TestBounds:
+    def test_dlb_dub_initial(self, engine):
+        s0 = engine.initial_state()
+        assert engine.dlb(s0, 0) == 2
+        assert engine.dub(s0, 0) == 4
+        assert engine.min_dub(s0) == 4
+
+    def test_bounds_of_disabled_raise(self, engine):
+        s0 = engine.initial_state()
+        with pytest.raises(SchedulingError):
+            engine.dlb(s0, 1)
+        with pytest.raises(SchedulingError):
+            engine.dub(s0, 1)
+
+    def test_dlb_clamps_at_zero(self, engine):
+        s0 = engine.initial_state()
+        s1 = engine.fire(s0, 0, 3)  # t_start at 3
+        # t_end enabled, clock 0, interval [3,3]
+        assert engine.dlb(s1, 1) == 3
+        assert engine.dub(s1, 1) == 3
+
+    def test_min_dub_ignores_unbounded(self):
+        net = TimePetriNet("u")
+        net.add_place("p", marking=1)
+        net.add_place("q", marking=1)
+        net.add_place("r")
+        net.add_transition("slow", TimeInterval.unbounded(1))
+        net.add_transition("fast", TimeInterval(2, 6))
+        net.add_arc("p", "slow")
+        net.add_arc("slow", "r")
+        net.add_arc("q", "fast")
+        net.add_arc("fast", "r")
+        engine = StateEngine(net.compile())
+        assert engine.min_dub(engine.initial_state()) == 6
+
+    def test_min_dub_all_unbounded_is_inf(self):
+        net = TimePetriNet("u")
+        net.add_place("p", marking=1)
+        net.add_place("q")
+        net.add_transition("t", TimeInterval.unbounded(0))
+        net.add_arc("p", "t")
+        net.add_arc("t", "q")
+        engine = StateEngine(net.compile())
+        assert engine.min_dub(engine.initial_state()) == INF
+
+
+class TestFireable:
+    def test_single_candidate(self, engine):
+        s0 = engine.initial_state()
+        candidates = engine.fireable(s0)
+        assert len(candidates) == 1
+        assert candidates[0].transition == 0
+        assert candidates[0].dlb == 2
+        assert candidates[0].dub == 4
+
+    def test_window_filter(self, conflict_net):
+        # t_a [1,5] and t_b [2,3] conflict: ceiling is 3, both eligible
+        engine = StateEngine(conflict_net.compile())
+        candidates = engine.fireable(engine.initial_state())
+        assert {c.transition for c in candidates} == {0, 1}
+        assert all(c.dub == 3 for c in candidates)
+
+    def test_window_excludes_late_starter(self):
+        net = TimePetriNet("w")
+        net.add_place("p", marking=1)
+        net.add_place("q", marking=1)
+        net.add_place("r")
+        net.add_transition("late", TimeInterval(9, 20))
+        net.add_transition("soon", TimeInterval(0, 3))
+        net.add_arc("p", "late")
+        net.add_arc("late", "r")
+        net.add_arc("q", "soon")
+        net.add_arc("soon", "r")
+        engine = StateEngine(net.compile())
+        candidates = engine.fireable(engine.initial_state())
+        names = {
+            engine.net.transition_names[c.transition]
+            for c in candidates
+        }
+        assert names == {"soon"}  # DLB(late)=9 > min DUB=3
+
+    def test_priority_filter(self):
+        net = TimePetriNet("prio")
+        net.add_place("p", marking=1)
+        net.add_place("a")
+        net.add_place("b")
+        net.add_transition("hi", TimeInterval(0, 5), priority=1)
+        net.add_transition("lo", TimeInterval(0, 5), priority=9)
+        net.add_arc("p", "hi")
+        net.add_arc("p", "lo")
+        net.add_arc("hi", "a")
+        net.add_arc("lo", "b")
+        engine = StateEngine(net.compile())
+        s0 = engine.initial_state()
+        filtered = engine.fireable(s0, priority_filter=True)
+        assert [c.transition for c in filtered] == [
+            engine.net.transition_index["hi"]
+        ]
+        unfiltered = engine.fireable(s0, priority_filter=False)
+        assert len(unfiltered) == 2
+
+    def test_firing_domain(self, engine):
+        s0 = engine.initial_state()
+        domain = engine.firing_domain(s0, 0)
+        assert (domain.dlb, domain.dub) == (2, 4)
+        assert list(domain.delays()) == [2, 3, 4]
+
+    def test_unbounded_domain_not_enumerable(self):
+        net = TimePetriNet("u")
+        net.add_place("p", marking=1)
+        net.add_place("q")
+        net.add_transition("t", TimeInterval.unbounded(0))
+        net.add_arc("p", "t")
+        net.add_arc("t", "q")
+        engine = StateEngine(net.compile())
+        domain = engine.firing_domain(engine.initial_state(), 0)
+        with pytest.raises(SchedulingError):
+            domain.delays()
+
+
+class TestFire:
+    def test_marking_update(self, engine):
+        s0 = engine.initial_state()
+        s1 = engine.fire(s0, 0, 2)
+        assert s1.marking == (0, 0, 1, 0)
+
+    def test_newly_enabled_clock_resets(self, engine):
+        s0 = engine.initial_state()
+        s1 = engine.fire(s0, 0, 4)
+        assert s1.clocks[1] == 0  # t_end newly enabled
+
+    def test_persistent_clock_advances(self):
+        net = TimePetriNet("persist")
+        net.add_place("p", marking=1)
+        net.add_place("q", marking=1)
+        net.add_place("r")
+        net.add_place("s")
+        net.add_transition("fast", TimeInterval(1, 2))
+        net.add_transition("slow", TimeInterval(5, 9))
+        net.add_arc("p", "fast")
+        net.add_arc("fast", "r")
+        net.add_arc("q", "slow")
+        net.add_arc("slow", "s")
+        engine = StateEngine(net.compile())
+        s0 = engine.initial_state()
+        s1 = engine.fire(s0, 0, 2)  # fire fast at 2
+        slow = engine.net.transition_index["slow"]
+        assert s1.clocks[slow] == 2  # persistent: advanced by q
+
+    def test_fired_transition_clock_resets_on_self_loop(self):
+        net = TimePetriNet("loop")
+        net.add_place("budget", marking=3)
+        net.add_place("out")
+        net.add_transition("tick", TimeInterval(4, 4))
+        net.add_arc("budget", "tick")
+        net.add_arc("tick", "out")
+        engine = StateEngine(net.compile())
+        state = engine.initial_state()
+        for _ in range(3):
+            assert engine.dlb(state, 0) == 4
+            state = engine.fire(state, 0, 4)
+        # budget exhausted: disabled
+        assert state.clocks[0] == DISABLED
+        assert state.marking == (0, 3)
+
+    def test_fire_disabled_raises(self, engine):
+        s0 = engine.initial_state()
+        with pytest.raises(SchedulingError):
+            engine.fire(s0, 1, 0)
+
+    def test_fire_below_dlb_raises(self, engine):
+        s0 = engine.initial_state()
+        with pytest.raises(SchedulingError):
+            engine.fire(s0, 0, 1)
+
+    def test_fire_beyond_ceiling_raises(self, engine):
+        s0 = engine.initial_state()
+        with pytest.raises(SchedulingError):
+            engine.fire(s0, 0, 5)
+
+    def test_strong_semantics_ceiling_from_other(self):
+        # firing t_a later than DUB(t_b) must be rejected
+        net = TimePetriNet("force")
+        net.add_place("p", marking=1)
+        net.add_place("q", marking=1)
+        net.add_place("r")
+        net.add_transition("t_a", TimeInterval(0, 10))
+        net.add_transition("t_b", TimeInterval(0, 2))
+        net.add_arc("p", "t_a")
+        net.add_arc("t_a", "r")
+        net.add_arc("q", "t_b")
+        net.add_arc("t_b", "r")
+        engine = StateEngine(net.compile())
+        s0 = engine.initial_state()
+        with pytest.raises(SchedulingError):
+            engine.fire(s0, 0, 3)
+        engine.fire(s0, 0, 2)  # at the ceiling: fine
+
+
+class TestResetPolicies:
+    def _token_refill_net(self) -> TimePetriNet:
+        """t_move consumes and refills t_watch's input place."""
+        net = TimePetriNet("refill")
+        net.add_place("shared", marking=1)
+        net.add_place("fuel", marking=1)
+        net.add_place("out")
+        net.add_transition("t_watch", TimeInterval(5, 10))
+        net.add_transition("t_move", TimeInterval(1, 1))
+        net.add_arc("shared", "t_watch")
+        net.add_arc("t_watch", "out")
+        net.add_arc("fuel", "t_move")
+        net.add_arc("shared", "t_move")
+        net.add_arc("t_move", "shared")  # give the token right back
+        net.add_arc("t_move", "out")
+        return net
+
+    def test_paper_semantics_keeps_clock(self):
+        net = self._token_refill_net()
+        engine = StateEngine(net.compile(), reset_policy="paper")
+        s0 = engine.initial_state()
+        s1 = engine.fire(s0, engine.net.transition_index["t_move"], 1)
+        watch = engine.net.transition_index["t_watch"]
+        # enabled before and after (marking comparison): persistent
+        assert s1.clocks[watch] == 1
+
+    def test_intermediate_semantics_resets_clock(self):
+        net = self._token_refill_net()
+        engine = StateEngine(net.compile(), reset_policy="intermediate")
+        s0 = engine.initial_state()
+        s1 = engine.fire(s0, engine.net.transition_index["t_move"], 1)
+        watch = engine.net.transition_index["t_watch"]
+        # t_move stole the token transiently: newly enabled
+        assert s1.clocks[watch] == 0
+
+    def test_unknown_policy_rejected(self, simple_net):
+        with pytest.raises(SchedulingError):
+            StateEngine(simple_net.compile(), reset_policy="bogus")

@@ -1,0 +1,208 @@
+"""Tests for the Berthomieu–Diaz state-class graph.
+
+The key check is the cross-validation with the discrete-time engine:
+for TPNs with integer bounds, integer firing times suffice for marking
+reachability, so the dense-time class graph and the exhaustive
+discrete exploration must see exactly the same markings.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.tpn import (
+    StateClassEngine,
+    TimeInterval,
+    TimePetriNet,
+    build_state_class_graph,
+    explore,
+)
+
+
+class TestInitialClass:
+    def test_bounds_are_static_intervals(self, simple_net):
+        engine = StateClassEngine(simple_net.compile())
+        initial = engine.initial_class()
+        assert initial.marking == (1, 1, 0, 0)
+        assert initial.enabled == (0,)
+        assert initial.bounds_of(0) == (2, 4)
+
+    def test_bounds_of_disabled_raises(self, simple_net):
+        engine = StateClassEngine(simple_net.compile())
+        initial = engine.initial_class()
+        with pytest.raises(SchedulingError):
+            initial.bounds_of(1)
+
+
+class TestFiring:
+    def test_fire_updates_marking_and_bounds(self, simple_net):
+        compiled = simple_net.compile()
+        engine = StateClassEngine(compiled)
+        after = engine.fire(engine.initial_class(), 0)
+        assert after.marking == (0, 0, 1, 0)
+        assert after.bounds_of(1) == (3, 3)
+
+    def test_window_rule_blocks_slow_conflict(self):
+        """In a class where DUB(fast) < DLB(slow), slow is unfirable."""
+        net = TimePetriNet("w")
+        net.add_place("p", marking=1)
+        net.add_place("q", marking=1)
+        net.add_place("r")
+        net.add_transition("slow", TimeInterval(9, 20))
+        net.add_transition("fast", TimeInterval(0, 3))
+        net.add_arc("p", "slow")
+        net.add_arc("slow", "r")
+        net.add_arc("q", "fast")
+        net.add_arc("fast", "r")
+        engine = StateClassEngine(net.compile())
+        initial = engine.initial_class()
+        firable = {
+            net.compile().transition_names[t]
+            for t in engine.firable(initial)
+        }
+        assert firable == {"fast"}
+
+    def test_unfirable_raises(self, simple_net):
+        engine = StateClassEngine(simple_net.compile())
+        with pytest.raises(SchedulingError):
+            engine.fire(engine.initial_class(), 1)
+
+    def test_persistent_bounds_shift(self):
+        """After `fast` fires at θ∈[1,2], `slow` keeps θ'=θ−θ_fast."""
+        net = TimePetriNet("persist")
+        net.add_place("p", marking=1)
+        net.add_place("q", marking=1)
+        net.add_place("r")
+        net.add_place("s")
+        net.add_transition("fast", TimeInterval(1, 2))
+        net.add_transition("slow", TimeInterval(5, 9))
+        net.add_arc("p", "fast")
+        net.add_arc("fast", "r")
+        net.add_arc("q", "slow")
+        net.add_arc("slow", "s")
+        compiled = net.compile()
+        engine = StateClassEngine(compiled)
+        fast = compiled.transition_index["fast"]
+        slow = compiled.transition_index["slow"]
+        after = engine.fire(engine.initial_class(), fast)
+        lower, upper = after.bounds_of(slow)
+        assert (lower, upper) == (3, 8)  # [5−2, 9−1]
+
+
+class TestGraph:
+    def test_simple_net_graph(self, simple_net):
+        graph = build_state_class_graph(simple_net.compile())
+        assert graph.num_classes == 3
+        assert graph.complete
+
+    def test_truncation_flag(self, mine_pump_model):
+        graph = build_state_class_graph(
+            mine_pump_model.net.compile(), max_classes=20
+        )
+        assert not graph.complete
+        assert graph.num_classes == 20
+
+    def test_markings_match_discrete_engine(
+        self, simple_net, conflict_net
+    ):
+        for net in (simple_net, conflict_net):
+            compiled = net.compile()
+            dense = build_state_class_graph(compiled).markings()
+            discrete = explore(
+                compiled, earliest_only=False, priority_filter=False
+            ).markings()
+            assert dense == discrete
+
+    def test_composed_model_markings_match(self):
+        """Dense vs discrete agreement on a real composed task net."""
+        from repro.blocks import compose
+        from repro.spec import SpecBuilder
+
+        spec = (
+            SpecBuilder("scg")
+            .task("A", computation=1, deadline=4, period=8)
+            .task("B", computation=2, deadline=8, period=8)
+            .build()
+        )
+        compiled = compose(spec).net.compile()
+        dense = build_state_class_graph(
+            compiled, max_classes=5000
+        )
+        discrete = explore(
+            compiled,
+            max_states=20000,
+            earliest_only=False,
+            priority_filter=False,
+        )
+        assert dense.complete and discrete.complete
+        assert dense.markings() == discrete.markings()
+
+
+@st.composite
+def small_nets(draw):
+    n_places = draw(st.integers(min_value=2, max_value=4))
+    n_transitions = draw(st.integers(min_value=1, max_value=3))
+    net = TimePetriNet("h")
+    for i in range(n_places):
+        net.add_place(f"p{i}", marking=draw(st.integers(0, 1)))
+    for j in range(n_transitions):
+        eft = draw(st.integers(0, 3))
+        net.add_transition(
+            f"t{j}", TimeInterval(eft, eft + draw(st.integers(0, 3)))
+        )
+        inputs = draw(
+            st.lists(
+                st.integers(0, n_places - 1),
+                min_size=1,
+                max_size=2,
+                unique=True,
+            )
+        )
+        outputs = draw(
+            st.lists(
+                st.integers(0, n_places - 1),
+                min_size=0,
+                max_size=2,
+                unique=True,
+            )
+        )
+        for p in inputs:
+            net.add_arc(f"p{p}", f"t{j}")
+        for p in outputs:
+            net.add_arc(f"t{j}", f"p{p}")
+    return net
+
+
+class TestCrossValidationProperty:
+    @given(small_nets())
+    @settings(max_examples=40, deadline=None)
+    def test_dense_and_discrete_markings_agree(self, net):
+        compiled = net.compile()
+        dense = build_state_class_graph(compiled, max_classes=300)
+        discrete = explore(
+            compiled,
+            max_states=2000,
+            earliest_only=False,
+            priority_filter=False,
+        )
+        if dense.complete and discrete.complete:
+            assert dense.markings() == discrete.markings()
+
+    @given(small_nets())
+    @settings(max_examples=30, deadline=None)
+    def test_class_bounds_contain_discrete_delays(self, net):
+        """Every discrete firing delay lies inside the class bounds."""
+        compiled = net.compile()
+        from repro.tpn import StateEngine
+
+        dense_engine = StateClassEngine(compiled)
+        discrete_engine = StateEngine(compiled)
+        initial = dense_engine.initial_class()
+        firable = set(dense_engine.firable(initial))
+        for cand in discrete_engine.fireable(
+            discrete_engine.initial_state(), priority_filter=False
+        ):
+            if cand.transition in firable:
+                lower, upper = initial.bounds_of(cand.transition)
+                assert lower <= cand.dlb

@@ -1,0 +1,164 @@
+"""Tests for the hyper-period / instance mathematics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecificationError
+from repro.spec import (
+    SpecBuilder,
+    check_harmonic,
+    demand_in_window,
+    expand_instances,
+    instance_count,
+    lcm,
+    mine_pump,
+    schedule_period,
+    total_instances,
+    utilization_breakdown,
+)
+
+
+class TestLcm:
+    def test_basic(self):
+        assert lcm([4, 6]) == 12
+        assert lcm([80, 500, 1000, 2500, 6000]) == 30000
+
+    def test_empty(self):
+        assert lcm([]) == 1
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(SpecificationError):
+            lcm([0, 3])
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=200),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_divides_all(self, values):
+        result = lcm(values)
+        assert all(result % v == 0 for v in values)
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=60),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_matches_math_lcm(self, values):
+        assert lcm(values) == math.lcm(*values)
+
+
+class TestSchedulePeriod:
+    def test_mine_pump_period(self):
+        assert schedule_period(mine_pump()) == 30000
+
+    def test_mine_pump_instances(self):
+        assert total_instances(mine_pump()) == 782
+
+    def test_instance_count_per_task(self):
+        spec = mine_pump()
+        period = schedule_period(spec)
+        counts = {
+            t.name: instance_count(t, period) for t in spec.tasks
+        }
+        assert counts["PMC"] == 375
+        assert counts["AFH"] == 5
+        assert counts["COH"] == 12
+        assert counts["RLWH"] == 30
+        assert sum(counts.values()) == 782
+
+    def test_instance_count_non_divisor_rejected(self):
+        spec = mine_pump()
+        with pytest.raises(SpecificationError):
+            instance_count(spec.tasks[0], 30001)
+
+    def test_empty_spec_rejected(self):
+        from repro.spec import EzRTSpec
+
+        with pytest.raises(SpecificationError):
+            schedule_period(EzRTSpec("empty"))
+
+
+class TestExpandInstances:
+    def _spec(self):
+        return (
+            SpecBuilder("x")
+            .task("A", computation=1, deadline=4, period=5, phase=1,
+                  release=1)
+            .task("B", computation=2, deadline=10, period=10)
+            .build()
+        )
+
+    def test_expansion(self):
+        instances = expand_instances(self._spec())
+        a_instances = [i for i in instances if i.task == "A"]
+        assert [i.arrival for i in a_instances] == [1, 6]
+        assert a_instances[0].release == 2
+        assert a_instances[0].deadline == 5
+        assert a_instances[1].deadline == 10
+
+    def test_sorted_by_arrival(self):
+        instances = expand_instances(self._spec())
+        arrivals = [i.arrival for i in instances]
+        assert arrivals == sorted(arrivals)
+
+    def test_horizon_truncates(self):
+        instances = expand_instances(self._spec(), horizon=6)
+        assert all(i.arrival < 6 for i in instances)
+
+    def test_mine_pump_expansion_count(self):
+        assert len(expand_instances(mine_pump())) == 782
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_counts_match_formula(self, period_a, count):
+        spec = (
+            SpecBuilder("p")
+            .task("A", computation=1, deadline=period_a,
+                  period=period_a)
+            .task("B", computation=1,
+                  deadline=period_a * count,
+                  period=period_a * count)
+            .build()
+        )
+        instances = expand_instances(spec)
+        expected = total_instances(spec)
+        assert len(instances) == expected
+
+
+class TestUtilization:
+    def test_breakdown(self):
+        breakdown = utilization_breakdown(mine_pump())
+        assert breakdown["PMC"] == pytest.approx(10 / 80)
+        assert breakdown["total"] == pytest.approx(0.30445, abs=1e-4)
+
+    def test_demand_in_window(self):
+        spec = (
+            SpecBuilder("d")
+            .task("A", computation=2, deadline=5, period=10)
+            .build()
+        )
+        assert demand_in_window(spec, 0, 5) == 2
+        assert demand_in_window(spec, 0, 4) == 0
+        assert demand_in_window(spec, 0, 20) == 4
+
+    def test_demand_window_inverted(self):
+        with pytest.raises(SpecificationError):
+            demand_in_window(mine_pump(), 10, 0)
+
+
+class TestHarmonic:
+    def test_harmonic(self):
+        assert check_harmonic([10, 20, 40])
+        assert not check_harmonic([10, 15])
+        assert check_harmonic([7])

@@ -1,0 +1,126 @@
+"""Tests for labeled runs and the Definition-3.2 feasibility predicate."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.tpn import TLTS, TimeInterval, TimePetriNet
+
+
+@pytest.fixture
+def tlts(simple_net):
+    return TLTS(simple_net.compile())
+
+
+class TestReplay:
+    def test_legal_run(self, tlts):
+        run = tlts.replay([("t_start", 3), ("t_end", 3)])
+        assert run.length == 2
+        assert run.makespan == 6
+        assert run.final_state.marking == (0, 1, 0, 1)
+
+    def test_labels(self, tlts):
+        run = tlts.replay([("t_start", 2), ("t_end", 3)])
+        assert run.labels(tlts.net) == [
+            ("t_start", 2, 2),
+            ("t_end", 3, 5),
+        ]
+
+    def test_indices_accepted(self, tlts):
+        run = tlts.replay([(0, 2), (1, 3)])
+        assert run.length == 2
+
+    def test_not_fireable_rejected(self, tlts):
+        with pytest.raises(SchedulingError, match="not fireable"):
+            tlts.replay([("t_end", 3)])
+
+    def test_delay_outside_domain_rejected(self, tlts):
+        with pytest.raises(SchedulingError, match="outside firing"):
+            tlts.replay([("t_start", 1)])
+
+    def test_unknown_transition_rejected(self, tlts):
+        with pytest.raises(SchedulingError, match="unknown"):
+            tlts.replay([("ghost", 0)])
+
+    def test_index_out_of_range_rejected(self, tlts):
+        with pytest.raises(SchedulingError, match="out of range"):
+            tlts.replay([(7, 0)])
+
+    def test_empty_run(self, tlts):
+        run = tlts.replay([])
+        assert run.length == 0
+        assert run.makespan == 0
+
+    def test_empty_run_final_state_is_s0(self, tlts):
+        run = tlts.replay([])
+        assert run.final_state == tlts.initial_state()
+
+
+class TestFeasibility:
+    def test_feasible_schedule(self, tlts):
+        assert tlts.is_feasible_schedule(
+            [("t_start", 2), ("t_end", 3)]
+        )
+
+    def test_wrong_final_marking(self, tlts):
+        # legal prefix but M_F not reached
+        assert not tlts.is_feasible_schedule([("t_start", 2)])
+
+    def test_illegal_run(self, tlts):
+        assert not tlts.is_feasible_schedule([("t_start", 99)])
+
+    def test_every_domain_delay_is_feasible(self, tlts):
+        for q in (2, 3, 4):
+            assert tlts.is_feasible_schedule(
+                [("t_start", q), ("t_end", 3)]
+            )
+
+
+class TestSuccessors:
+    def test_earliest_only(self, tlts):
+        succ = tlts.successors(tlts.initial_state())
+        assert len(succ) == 1
+        t, q, _state = succ[0]
+        assert (tlts.net.transition_names[t], q) == ("t_start", 2)
+
+    def test_full_domain(self, tlts):
+        succ = tlts.successors(
+            tlts.initial_state(), earliest_only=False
+        )
+        assert [q for _t, q, _s in succ] == [2, 3, 4]
+
+    def test_conflict_successors(self, conflict_net):
+        tlts = TLTS(conflict_net.compile())
+        succ = tlts.successors(
+            tlts.initial_state(), earliest_only=False
+        )
+        labels = {
+            (tlts.net.transition_names[t], q) for t, q, _s in succ
+        }
+        # ceiling is DUB(t_b)=3: t_a in [1,3], t_b in [2,3]
+        assert labels == {
+            ("t_a", 1),
+            ("t_a", 2),
+            ("t_a", 3),
+            ("t_b", 2),
+            ("t_b", 3),
+        }
+
+    def test_dead_state_has_no_successors(self, tlts):
+        run = tlts.replay([("t_start", 2), ("t_end", 3)])
+        assert tlts.successors(run.final_state) == []
+
+
+class TestZenoSafety:
+    def test_zero_time_cycle_detected_by_replay(self):
+        """A [0,0] self-loop fires forever at the same instant; the
+        TLTS itself permits it (each firing is a distinct step), which
+        is why the scheduler tags visited states."""
+        net = TimePetriNet("zeno")
+        net.add_place("p", marking=1)
+        net.add_transition("t", TimeInterval.zero())
+        net.add_arc("p", "t")
+        net.add_arc("t", "p")
+        tlts = TLTS(net.compile())
+        run = tlts.replay([("t", 0)] * 5)
+        assert run.makespan == 0
+        assert run.final_state == run.states[0]

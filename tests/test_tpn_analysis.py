@@ -1,0 +1,240 @@
+"""Tests for structural analysis: invariants, conservation, classes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tpn import (
+    TimeInterval,
+    TimePetriNet,
+    behavioural_report,
+    check_invariants_on_graph,
+    classify,
+    explore,
+    incidence_matrix,
+    invariant_value,
+    is_conservative,
+    place_invariants,
+    transition_invariants,
+)
+
+
+class TestIncidence:
+    def test_matrix(self, simple_net):
+        matrix = incidence_matrix(simple_net)
+        names = simple_net.place_names
+        t = simple_net.transition_names.index("t_start")
+        assert matrix[names.index("p0")][t] == -1
+        assert matrix[names.index("p1")][t] == 1
+        assert matrix[names.index("done")][t] == 0
+
+    def test_self_loop_cancels(self):
+        net = TimePetriNet("loop")
+        net.add_place("p", marking=1)
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "p")
+        assert incidence_matrix(net) == [[0]]
+
+
+class TestPlaceInvariants:
+    def test_resource_invariant(self, simple_net):
+        invariants = place_invariants(simple_net)
+        # proc + p1 is constant (the resource cycles through p1)
+        assert any(
+            inv == {"proc": 1, "p1": 1} for inv in invariants
+        ) or any(
+            set(inv) == {"proc", "p1"} for inv in invariants
+        )
+
+    def test_invariant_values_constant(self, simple_net):
+        compiled = simple_net.compile()
+        graph = explore(compiled, earliest_only=False)
+        assert check_invariants_on_graph(simple_net, graph) == []
+
+    def test_invariant_value_helper(self):
+        assert invariant_value({"a": 2, "b": -1}, {"a": 3}) == 6
+        assert invariant_value({"a": 1}, {}) == 0
+
+    def test_composed_model_invariants_hold(self, fig3_model):
+        graph = explore(
+            fig3_model.net.compile(), max_states=400, earliest_only=True
+        )
+        assert check_invariants_on_graph(fig3_model.net, graph) == []
+
+    def test_processor_invariant_in_composed_net(self, fig8_model):
+        invariants = place_invariants(fig8_model.net)
+        proc_invariants = [
+            inv for inv in invariants if "pproc_proc0" in inv
+        ]
+        assert proc_invariants  # the processor is conserved somewhere
+
+
+class TestTransitionInvariants:
+    def test_cycle_is_t_invariant(self):
+        net = TimePetriNet("cycle")
+        net.add_place("a", marking=1)
+        net.add_place("b")
+        net.add_transition("ab")
+        net.add_transition("ba")
+        net.add_arc("a", "ab")
+        net.add_arc("ab", "b")
+        net.add_arc("b", "ba")
+        net.add_arc("ba", "a")
+        invariants = transition_invariants(net)
+        assert any(
+            inv.get("ab") == inv.get("ba") and inv.get("ab")
+            for inv in invariants
+        )
+
+    def test_acyclic_net_has_no_t_invariant(self, simple_net):
+        assert transition_invariants(simple_net) == []
+
+
+class TestConservation:
+    def test_conservative_net(self):
+        net = TimePetriNet("cons")
+        net.add_place("a", marking=1)
+        net.add_place("b")
+        net.add_transition("t")
+        net.add_arc("a", "t")
+        net.add_arc("t", "b")
+        assert is_conservative(net)
+
+    def test_non_conservative(self):
+        net = TimePetriNet("grow")
+        net.add_place("a", marking=1)
+        net.add_place("b")
+        net.add_transition("t")
+        net.add_arc("a", "t")
+        net.add_arc("t", "b", 2)
+        assert not is_conservative(net)
+
+
+class TestClassification:
+    def test_state_machine(self):
+        net = TimePetriNet("sm")
+        net.add_place("a", marking=1)
+        net.add_place("b")
+        net.add_transition("t")
+        net.add_arc("a", "t")
+        net.add_arc("t", "b")
+        flags = classify(net)
+        assert flags["state_machine"]
+        assert flags["ordinary"]
+        assert flags["free_choice"]
+
+    def test_not_state_machine_with_sync(self, simple_net):
+        flags = classify(simple_net)
+        assert not flags["state_machine"]  # t_start has 2 inputs
+
+    def test_marked_graph(self):
+        net = TimePetriNet("mg")
+        net.add_place("a", marking=1)
+        net.add_place("b")
+        net.add_transition("t")
+        net.add_transition("u")
+        net.add_arc("a", "t")
+        net.add_arc("t", "b")
+        net.add_arc("b", "u")
+        net.add_arc("u", "a")
+        assert classify(net)["marked_graph"]
+
+    def test_non_free_choice(self):
+        net = TimePetriNet("nfc")
+        net.add_place("shared", marking=1)
+        net.add_place("extra", marking=1)
+        net.add_place("out")
+        net.add_transition("t1")
+        net.add_transition("t2")
+        net.add_arc("shared", "t1")
+        net.add_arc("shared", "t2")
+        net.add_arc("extra", "t2")
+        net.add_arc("t1", "out")
+        net.add_arc("t2", "out")
+        assert not classify(net)["free_choice"]
+
+    def test_weighted_not_ordinary(self):
+        net = TimePetriNet("weighted")
+        net.add_place("a", marking=2)
+        net.add_place("b")
+        net.add_transition("t")
+        net.add_arc("a", "t", 2)
+        net.add_arc("t", "b")
+        assert not classify(net)["ordinary"]
+
+
+class TestBehaviouralReport:
+    def test_simple_report(self, simple_net):
+        report = behavioural_report(simple_net.compile())
+        assert report.complete
+        assert report.bounded
+        assert report.bound == 1
+        assert report.deadlock_states == 1
+        assert report.final_marking_reachable is True
+        assert "k-bounded" in str(report)
+
+    def test_unreachable_final(self):
+        net = TimePetriNet("stuck")
+        net.add_place("p", marking=1)
+        net.add_place("goal")
+        net.add_place("trap")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "trap")
+        net.set_final_marking({"goal": 1})
+        report = behavioural_report(net.compile())
+        assert report.final_marking_reachable is False
+
+
+@st.composite
+def random_nets(draw):
+    """Small random connected nets for invariant cross-validation."""
+    n_places = draw(st.integers(min_value=2, max_value=5))
+    n_transitions = draw(st.integers(min_value=1, max_value=4))
+    net = TimePetriNet("random")
+    for i in range(n_places):
+        net.add_place(f"p{i}", marking=draw(st.integers(0, 2)))
+    for j in range(n_transitions):
+        eft = draw(st.integers(0, 3))
+        net.add_transition(
+            f"t{j}", TimeInterval(eft, eft + draw(st.integers(0, 3)))
+        )
+        inputs = draw(
+            st.lists(
+                st.integers(0, n_places - 1),
+                min_size=1,
+                max_size=2,
+                unique=True,
+            )
+        )
+        outputs = draw(
+            st.lists(
+                st.integers(0, n_places - 1),
+                min_size=0,
+                max_size=2,
+                unique=True,
+            )
+        )
+        for p in inputs:
+            net.add_arc(f"p{p}", f"t{j}", draw(st.integers(1, 2)))
+        for p in outputs:
+            net.add_arc(f"t{j}", f"p{p}", draw(st.integers(1, 2)))
+    return net
+
+
+class TestInvariantProperties:
+    @given(random_nets())
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_constant_over_reachable_states(self, net):
+        """P-invariants from linear algebra must be constant along any
+        behaviour generated by the firing rule — cross-validates the
+        two independently implemented pieces."""
+        graph = explore(net.compile(), max_states=80)
+        assert check_invariants_on_graph(net, graph) == []
+
+    @given(random_nets())
+    @settings(max_examples=40, deadline=None)
+    def test_markings_stay_non_negative(self, net):
+        graph = explore(net.compile(), max_states=80)
+        for state in graph.states:
+            assert all(tokens >= 0 for tokens in state.marking)

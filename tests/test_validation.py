@@ -1,0 +1,247 @@
+"""Tests for specification validation rules."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.spec import (
+    EzRTSpec,
+    Message,
+    Processor,
+    SpecBuilder,
+    Task,
+    ensure_valid,
+    validate_spec,
+)
+
+
+def base_spec() -> EzRTSpec:
+    spec = EzRTSpec("v")
+    spec.add_processor(Processor("proc0"))
+    spec.add_task(Task("A", computation=2, deadline=8, period=10))
+    spec.add_task(Task("B", computation=3, deadline=10, period=10))
+    return spec
+
+
+class TestTimingRules:
+    def test_valid_passes(self):
+        assert validate_spec(base_spec()) == []
+
+    def test_deadline_exceeds_period(self):
+        spec = base_spec()
+        spec.tasks[0].deadline = 12
+        assert any(
+            "c <= d <= p" in p for p in validate_spec(spec)
+        )
+
+    def test_computation_exceeds_deadline(self):
+        spec = base_spec()
+        spec.tasks[0].computation = 9
+        problems = validate_spec(spec)
+        assert problems  # violates both c<=d and window rules
+
+    def test_empty_release_window(self):
+        spec = base_spec()
+        spec.tasks[0].release = 7  # r + c = 9 > d = 8
+        assert any(
+            "release window" in p for p in validate_spec(spec)
+        )
+
+    def test_ensure_valid_raises_with_all_problems(self):
+        spec = base_spec()
+        spec.tasks[0].deadline = 99
+        spec.tasks[1].release = 99
+        with pytest.raises(SpecificationError) as info:
+            ensure_valid(spec)
+        message = str(info.value)
+        assert "A" in message and "B" in message
+
+
+class TestNameRules:
+    def test_duplicate_names_flagged(self):
+        spec = base_spec()
+        spec.tasks.append(
+            Task("A", computation=1, deadline=5, period=10)
+        )
+        assert any("duplicate task" in p for p in validate_spec(spec))
+
+    def test_duplicate_identifier_flagged(self):
+        spec = base_spec()
+        spec.tasks[1].identifier = spec.tasks[0].identifier
+        assert any(
+            "duplicate identifier" in p for p in validate_spec(spec)
+        )
+
+
+class TestRelationRules:
+    def test_unknown_precedence_target(self):
+        spec = base_spec()
+        spec.tasks[0].precedes_tasks.append("GHOST")
+        assert any("unknown task" in p for p in validate_spec(spec))
+
+    def test_self_precedence(self):
+        spec = base_spec()
+        spec.tasks[0].precedes_tasks.append("A")
+        assert any("precedes itself" in p for p in validate_spec(spec))
+
+    def test_asymmetric_exclusion_flagged(self):
+        spec = base_spec()
+        spec.tasks[0].excludes_tasks.append("B")  # one side only
+        assert any("not symmetric" in p for p in validate_spec(spec))
+
+    def test_precedence_different_periods(self):
+        spec = base_spec()
+        spec.tasks[1].period = 20
+        spec.tasks[1].deadline = 10
+        spec.add_precedence("A", "B")
+        assert any(
+            "different periods" in p for p in validate_spec(spec)
+        )
+
+    def test_precedence_cycle(self):
+        spec = base_spec()
+        spec.add_precedence("A", "B")
+        spec.add_precedence("B", "A")
+        assert any("cycle" in p for p in validate_spec(spec))
+
+    def test_long_cycle_detected(self):
+        spec = base_spec()
+        spec.add_task(Task("C", computation=1, deadline=9, period=10))
+        spec.add_precedence("A", "B")
+        spec.add_precedence("B", "C")
+        spec.add_precedence("C", "A")
+        assert any("cycle" in p for p in validate_spec(spec))
+
+    def test_diamond_is_not_a_cycle(self):
+        spec = base_spec()
+        spec.add_task(Task("C", computation=1, deadline=9, period=10))
+        spec.add_task(Task("D", computation=1, deadline=9, period=10))
+        spec.add_precedence("A", "B")
+        spec.add_precedence("A", "C")
+        spec.add_precedence("B", "D")
+        spec.add_precedence("C", "D")
+        assert validate_spec(spec) == []
+
+
+class TestMessageRules:
+    def test_valid_message(self):
+        spec = base_spec()
+        spec.add_message(
+            Message("m", sender="A", precedes="B", communication=1)
+        )
+        spec.task("A").precedes_msgs.append("m")
+        assert validate_spec(spec) == []
+
+    def test_unknown_sender(self):
+        spec = base_spec()
+        spec.add_message(Message("m", sender="GHOST"))
+        assert any("unknown sender" in p for p in validate_spec(spec))
+
+    def test_unknown_receiver(self):
+        spec = base_spec()
+        spec.add_message(Message("m", sender="A", precedes="GHOST"))
+        spec.task("A").precedes_msgs.append("m")
+        assert any(
+            "unknown receiver" in p for p in validate_spec(spec)
+        )
+
+    def test_sender_equals_receiver(self):
+        spec = base_spec()
+        spec.add_message(Message("m", sender="A", precedes="A"))
+        spec.task("A").precedes_msgs.append("m")
+        assert any(
+            "sender equals receiver" in p for p in validate_spec(spec)
+        )
+
+    def test_message_periods_must_match(self):
+        spec = base_spec()
+        spec.tasks[1].period = 20
+        spec.tasks[1].deadline = 12
+        spec.add_message(Message("m", sender="A", precedes="B"))
+        spec.task("A").precedes_msgs.append("m")
+        assert any(
+            "different periods" in p for p in validate_spec(spec)
+        )
+
+    def test_sender_must_list_message(self):
+        spec = base_spec()
+        spec.add_message(Message("m", sender="A", precedes="B"))
+        assert any(
+            "does not list it" in p for p in validate_spec(spec)
+        )
+
+    def test_dangling_precedes_msgs(self):
+        spec = base_spec()
+        spec.task("A").precedes_msgs.append("ghost-msg")
+        assert any(
+            "unknown message" in p for p in validate_spec(spec)
+        )
+
+
+class TestProcessorRules:
+    def test_undeclared_processor(self):
+        spec = base_spec()
+        spec.tasks[0].processor = "dsp9"
+        assert any(
+            "undeclared processor" in p for p in validate_spec(spec)
+        )
+
+    def test_no_processors_declared_is_fine(self):
+        spec = EzRTSpec("implicit")
+        spec.add_task(Task("A", computation=1, deadline=5, period=10))
+        assert validate_spec(spec) == []
+
+
+class TestBuilder:
+    def test_fluent_chain(self):
+        spec = (
+            SpecBuilder("b")
+            .processor("cpu")
+            .task("A", computation=1, deadline=5, period=10,
+                  code="a();")
+            .task("B", computation=2, deadline=10, period=10,
+                  scheduling="P")
+            .precedence("A", "B")
+            .exclusion("A", "B")
+            .message("m", sender="A", receiver="B", communication=1)
+            .build()
+        )
+        assert spec.task("A").code.content == "a();"
+        assert spec.task("B").is_preemptive
+        assert spec.messages[0].sender == "A"
+        assert "m" in spec.task("A").precedes_msgs
+
+    def test_default_processor_assignment(self):
+        spec = (
+            SpecBuilder("b")
+            .processor("cpu7")
+            .task("A", computation=1, deadline=5, period=10)
+            .build()
+        )
+        assert spec.task("A").processor == "cpu7"
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(SpecificationError):
+            SpecBuilder("empty").build()
+
+    def test_invalid_spec_rejected_at_build(self):
+        builder = SpecBuilder("bad").task(
+            "A", computation=9, deadline=5, period=10
+        )
+        with pytest.raises(SpecificationError):
+            builder.build()
+
+    def test_build_without_validation(self):
+        builder = SpecBuilder("bad").task(
+            "A", computation=9, deadline=5, period=10
+        )
+        spec = builder.build(validate=False)
+        assert spec.task("A").computation == 9
+
+    def test_source_attachment(self):
+        spec = (
+            SpecBuilder("b")
+            .task("A", computation=1, deadline=5, period=10)
+            .source("A", "late_attach();")
+            .build()
+        )
+        assert spec.task("A").code.content == "late_attach();"

@@ -1,0 +1,131 @@
+"""Tests for the synthetic workload generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecificationError
+from repro.spec import validate_spec
+from repro.workloads import (
+    PERIOD_GRID,
+    random_task_set,
+    random_task_set_with_relations,
+    uunifast,
+)
+
+
+class TestUUniFast:
+    def test_sums_to_target(self):
+        rng = random.Random(42)
+        utilizations = uunifast(5, 0.7, rng)
+        assert sum(utilizations) == pytest.approx(0.7)
+        assert len(utilizations) == 5
+
+    def test_all_positive(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            assert all(u >= 0 for u in uunifast(8, 0.9, rng))
+
+    def test_invalid_inputs(self):
+        rng = random.Random(0)
+        with pytest.raises(SpecificationError):
+            uunifast(0, 0.5, rng)
+        with pytest.raises(SpecificationError):
+            uunifast(3, 0.0, rng)
+        with pytest.raises(SpecificationError):
+            uunifast(3, 1.5, rng)
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.floats(min_value=0.05, max_value=1.0),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_sum_and_sign(self, n, total, seed):
+        utilizations = uunifast(n, total, random.Random(seed))
+        assert sum(utilizations) == pytest.approx(total)
+        assert all(u >= 0 for u in utilizations)
+
+
+class TestRandomTaskSet:
+    def test_deterministic_for_seed(self):
+        a = random_task_set(5, 0.5, seed=7)
+        b = random_task_set(5, 0.5, seed=7)
+        assert [(t.name, t.computation, t.deadline, t.period)
+                for t in a.tasks] == [
+            (t.name, t.computation, t.deadline, t.period)
+            for t in b.tasks
+        ]
+
+    def test_different_seeds_differ(self):
+        a = random_task_set(8, 0.5, seed=1)
+        b = random_task_set(8, 0.5, seed=2)
+        assert [(t.computation, t.period) for t in a.tasks] != [
+            (t.computation, t.period) for t in b.tasks
+        ]
+
+    def test_specs_are_valid(self):
+        for seed in range(15):
+            spec = random_task_set(6, 0.6, seed=seed)
+            assert validate_spec(spec) == []
+
+    def test_periods_from_grid(self):
+        spec = random_task_set(10, 0.5, seed=3)
+        assert all(t.period in PERIOD_GRID for t in spec.tasks)
+
+    def test_preemptive_fraction(self):
+        all_p = random_task_set(
+            10, 0.5, seed=0, preemptive_fraction=1.0
+        )
+        assert all(t.is_preemptive for t in all_p.tasks)
+        none_p = random_task_set(
+            10, 0.5, seed=0, preemptive_fraction=0.0
+        )
+        assert not any(t.is_preemptive for t in none_p.tasks)
+
+    def test_deadline_slack_tightens(self):
+        loose = random_task_set(8, 0.4, seed=5, deadline_slack=1.0)
+        tight = random_task_set(8, 0.4, seed=5, deadline_slack=0.3)
+        for a, b in zip(loose.tasks, tight.tasks):
+            assert b.deadline <= a.deadline
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SpecificationError):
+            random_task_set(3, 0.5, preemptive_fraction=1.5)
+        with pytest.raises(SpecificationError):
+            random_task_set(3, 0.5, deadline_slack=0.0)
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_always_valid(self, n, seed):
+        spec = random_task_set(n, 0.5, seed=seed)
+        assert validate_spec(spec) == []
+        assert spec.total_utilization() <= 1.0 + n * 0.05
+
+
+class TestRelationalSets:
+    def test_relations_present_and_valid(self):
+        spec = random_task_set_with_relations(
+            6, 0.4, seed=11, precedence_pairs=2, exclusion_pairs=2
+        )
+        assert validate_spec(spec) == []
+        assert len(spec.precedence_pairs()) == 2
+        assert len(spec.exclusion_pairs()) == 2
+
+    def test_precedence_periods_equalised(self):
+        spec = random_task_set_with_relations(
+            4, 0.4, seed=2, precedence_pairs=1, exclusion_pairs=0
+        )
+        before, after = spec.precedence_pairs()[0]
+        assert spec.task(before).period == spec.task(after).period
+
+    def test_small_set_caps_relations(self):
+        spec = random_task_set_with_relations(
+            2, 0.3, seed=0, precedence_pairs=5, exclusion_pairs=0
+        )
+        assert len(spec.precedence_pairs()) <= 1
