@@ -33,9 +33,20 @@ Subpackages: :mod:`repro.tpn` (the formalism), :mod:`repro.spec`
 :mod:`repro.pnml` (interchange), :mod:`repro.scheduler` (synthesis +
 baselines), :mod:`repro.codegen` (C emission), :mod:`repro.sim`
 (dispatcher machine), :mod:`repro.analysis` (schedulability theory and
-reports).
+reports), :mod:`repro.batch` (parallel multi-spec synthesis with
+result caching and campaign sweeps).
 """
 
+from repro.batch import (
+    BatchEngine,
+    BatchJob,
+    BatchResult,
+    CampaignGrid,
+    CampaignResult,
+    JobOutcome,
+    ResultCache,
+    run_campaign,
+)
 from repro.blocks import BlockStyle, ComposedModel, ComposerOptions, compose
 from repro.codegen import GeneratedProject, generate_project
 from repro.errors import (
@@ -71,11 +82,22 @@ from repro.spec import (
     mine_pump,
 )
 from repro.tpn import TimeInterval, TimePetriNet
+from repro.workloads import (
+    campaign_task_sets,
+    random_task_set,
+    random_task_set_with_relations,
+    uunifast,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchEngine",
+    "BatchJob",
+    "BatchResult",
     "BlockStyle",
+    "CampaignGrid",
+    "CampaignResult",
     "CodeGenError",
     "ComposedModel",
     "ComposerOptions",
@@ -85,8 +107,10 @@ __all__ = [
     "EzRealtimeError",
     "GeneratedProject",
     "InfeasibleScheduleError",
+    "JobOutcome",
     "NetConstructionError",
     "PNMLError",
+    "ResultCache",
     "SchedulerConfig",
     "SchedulerResult",
     "SchedulingError",
@@ -100,6 +124,7 @@ __all__ = [
     "TimePetriNet",
     "TraceVerificationError",
     "__version__",
+    "campaign_task_sets",
     "compose",
     "fig3_precedence",
     "fig4_exclusion",
@@ -107,9 +132,13 @@ __all__ = [
     "find_schedule",
     "generate_project",
     "mine_pump",
+    "random_task_set",
+    "random_task_set_with_relations",
     "require_schedule",
+    "run_campaign",
     "run_schedule",
     "schedule_from_result",
     "simulate_runtime",
+    "uunifast",
     "verify_trace",
 ]

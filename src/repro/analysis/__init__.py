@@ -8,6 +8,7 @@ from repro.analysis.energy import (
 )
 from repro.analysis.gantt import render_gantt, render_instance_table
 from repro.analysis.report import (
+    campaign_report,
     full_report,
     schedule_report,
     search_report,
@@ -31,6 +32,7 @@ __all__ = [
     "EnergyReport",
     "ResponseTimeResult",
     "breakdown",
+    "campaign_report",
     "demand_bound",
     "edf_feasible",
     "energy_report",

@@ -77,6 +77,71 @@ def schedule_report(
     return "\n".join(lines)
 
 
+def campaign_report(rows: list[dict], stats: dict) -> str:
+    """Aggregate report of a batch synthesis campaign.
+
+    Works on the engine's plain JSONL rows and stats dict (not the
+    batch dataclasses, so :mod:`repro.analysis` stays import-free of
+    :mod:`repro.batch`): status totals, a feasibility-rate matrix over
+    the swept ``(n_tasks, utilization)`` grid for rows that carry
+    campaign metadata, throughput and cache accounting.
+    """
+    lines = [
+        f"jobs             : {stats.get('total', len(rows))} "
+        f"({stats.get('workers', 1)} worker(s))",
+        f"outcomes         : {stats.get('feasible', 0)} feasible, "
+        f"{stats.get('infeasible', 0)} infeasible, "
+        f"{stats.get('timeout', 0)} timeout, "
+        f"{stats.get('error', 0)} error",
+        f"wall time        : {stats.get('wall_seconds', 0.0):.2f} s "
+        f"({stats.get('jobs_per_second', 0.0):.1f} jobs/s, "
+        f"overlap {stats.get('speedup', 0.0):.1f}x)",
+    ]
+    looked_up = stats.get("cache_hits", 0) + stats.get("cache_misses", 0)
+    if looked_up:
+        lines.append(
+            f"result cache     : {stats.get('cache_hits', 0)} hit(s), "
+            f"{stats.get('cache_misses', 0)} miss(es) "
+            f"({100.0 * stats.get('hit_rate', 0.0):.0f}% hit rate)"
+        )
+    if stats.get("deduplicated"):
+        lines.append(
+            f"deduplicated     : {stats['deduplicated']} repeated "
+            "job(s) within the batch"
+        )
+    # feasibility matrix over the swept grid
+    cells: dict[tuple[int, float], list[bool]] = {}
+    for row in rows:
+        meta = row.get("meta") or {}
+        if "n_tasks" not in meta or "utilization" not in meta:
+            continue
+        key = (meta["n_tasks"], meta["utilization"])
+        cells.setdefault(key, []).append(
+            row.get("status") == "feasible"
+        )
+    if cells:
+        utilizations = sorted({u for _n, u in cells})
+        labels = [f"U={u:g}" for u in utilizations]
+        width = max(5, *(len(label) for label in labels))
+        lines.append("")
+        lines.append(
+            "feasible/point   : "
+            + "  ".join(label.ljust(width) for label in labels)
+        )
+        for n in sorted({n for n, _u in cells}):
+            entries = []
+            for u in utilizations:
+                verdicts = cells.get((n, u))
+                if verdicts is None:
+                    entries.append("-".ljust(width))
+                else:
+                    entries.append(
+                        f"{sum(verdicts)}/{len(verdicts)}".ljust(width)
+                    )
+            lines.append(f"  n={n:<4}         : " + "  ".join(entries))
+    return "\n".join(lines)
+
+
 def full_report(
     model: ComposedModel,
     result: SchedulerResult,

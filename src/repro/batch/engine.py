@@ -1,0 +1,337 @@
+"""The batch synthesis engine: fan many jobs out over a process pool.
+
+``BatchEngine.run`` takes specifications (or prepared
+:class:`~repro.batch.job.BatchJob` objects), resolves cache hits in the
+parent, ships the misses to a ``ProcessPoolExecutor`` (or runs them
+inline when ``max_workers <= 1`` — the serial baseline the throughput
+bench compares against), and returns a :class:`BatchResult` whose
+outcome list preserves submission order regardless of completion order.
+
+Timeouts are cooperative: the per-job budget is folded into the DFS
+scheduler's ``max_seconds`` and checked inside the worker, so a timed
+out job returns a structured ``timeout`` outcome instead of leaving a
+poisoned worker behind.  The budget bounds the schedule *search* (the
+only super-polynomial stage); composition and the optional
+codegen/simulate stages run outside it.  A worker that dies anyway (OOM kill, broken
+pool) surfaces as an ``error`` outcome, never as an engine exception.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from repro.batch.cache import ResultCache
+from repro.batch.job import (
+    BatchJob,
+    JobOutcome,
+    STATUS_ERROR,
+    STATUSES,
+    execute_job,
+)
+from repro.blocks.composer import ComposerOptions
+from repro.scheduler.config import SchedulerConfig
+from repro.spec.model import EzRTSpec
+
+
+def default_workers() -> int:
+    """Default pool width: one worker per available CPU."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass
+class BatchStats:
+    """Aggregate accounting of one engine run."""
+
+    total: int = 0
+    feasible: int = 0
+    infeasible: int = 0
+    timeout: int = 0
+    error: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    deduplicated: int = 0
+    wall_seconds: float = 0.0
+    job_seconds: float = 0.0
+    workers: int = 1
+
+    @property
+    def jobs_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.total / self.wall_seconds
+
+    @property
+    def speedup(self) -> float:
+        """Sum of per-job worker time over wall time (overlap factor)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.job_seconds / self.wall_seconds
+
+    @property
+    def hit_rate(self) -> float:
+        looked_up = self.cache_hits + self.cache_misses
+        if looked_up == 0:
+            return 0.0
+        return self.cache_hits / looked_up
+
+    def as_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "feasible": self.feasible,
+            "infeasible": self.infeasible,
+            "timeout": self.timeout,
+            "error": self.error,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "deduplicated": self.deduplicated,
+            "hit_rate": self.hit_rate,
+            "wall_seconds": self.wall_seconds,
+            "job_seconds": self.job_seconds,
+            "jobs_per_second": self.jobs_per_second,
+            "speedup": self.speedup,
+            "workers": self.workers,
+        }
+
+
+@dataclass
+class BatchResult:
+    """Outcomes (in submission order) plus aggregate stats."""
+
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    stats: BatchStats = field(default_factory=BatchStats)
+
+    def rows(self) -> list[dict]:
+        """Deterministic JSONL rows, one per outcome."""
+        return [outcome.row() for outcome in self.outcomes]
+
+    def to_jsonl(self) -> str:
+        """Canonical JSONL document (sorted keys, compact, ``\\n``)."""
+        return "".join(
+            json.dumps(row, sort_keys=True, separators=(",", ":"))
+            + "\n"
+            for row in self.rows()
+        )
+
+    def write_jsonl(self, path: str) -> str:
+        """Write the JSONL document to ``path``; returns the path."""
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+        return path
+
+    def by_status(self, status: str) -> list[JobOutcome]:
+        return [o for o in self.outcomes if o.status == status]
+
+    def summary(self) -> str:
+        """One-paragraph human summary of the run."""
+        s = self.stats
+        parts = [
+            f"{s.total} job(s) in {s.wall_seconds:.2f}s "
+            f"({s.jobs_per_second:.1f} jobs/s, {s.workers} worker(s), "
+            f"overlap {s.speedup:.1f}x)",
+            f"feasible {s.feasible}, infeasible {s.infeasible}, "
+            f"timeout {s.timeout}, error {s.error}",
+            f"cache: {s.cache_hits} hit(s), {s.cache_misses} miss(es)"
+            + (
+                f" ({100.0 * s.hit_rate:.0f}% hit rate)"
+                if s.cache_hits + s.cache_misses
+                else ""
+            ),
+        ]
+        if s.deduplicated:
+            parts.append(
+                f"deduplicated {s.deduplicated} repeated job(s) "
+                "within the batch"
+            )
+        return "\n".join(parts)
+
+
+class BatchEngine:
+    """Parallel multi-spec synthesis with content-addressed caching.
+
+    Args:
+        composer_options: default spec → TPN options for jobs built
+            from bare specifications.
+        scheduler_config: default DFS configuration.
+        max_workers: pool width; ``<= 1`` runs jobs inline in the
+            calling process (no pool, the serial baseline).  ``None``
+            uses :func:`default_workers`.
+        job_timeout: default per-job wall-clock budget in seconds.
+        cache: a :class:`ResultCache`; ``None`` disables caching.
+        codegen_target / simulate / store_schedules: defaults for the
+            optional downstream stages of jobs built from bare specs.
+    """
+
+    def __init__(
+        self,
+        composer_options: ComposerOptions | None = None,
+        scheduler_config: SchedulerConfig | None = None,
+        *,
+        max_workers: int | None = None,
+        job_timeout: float | None = None,
+        cache: ResultCache | None = None,
+        codegen_target: str | None = None,
+        simulate: bool = False,
+        store_schedules: bool = False,
+    ):
+        self.composer_options = composer_options or ComposerOptions()
+        self.scheduler_config = scheduler_config or SchedulerConfig()
+        self.max_workers = (
+            default_workers() if max_workers is None else max_workers
+        )
+        self.job_timeout = job_timeout
+        self.cache = cache
+        self.codegen_target = codegen_target
+        self.simulate = simulate
+        self.store_schedules = store_schedules
+
+    # ------------------------------------------------------------------
+    def make_job(
+        self, spec: EzRTSpec, meta: dict | None = None
+    ) -> BatchJob:
+        """Wrap a specification with this engine's defaults."""
+        return BatchJob(
+            spec=spec,
+            options=self.composer_options,
+            config=self.scheduler_config,
+            timeout=self.job_timeout,
+            codegen_target=self.codegen_target,
+            simulate=self.simulate,
+            store_schedule=self.store_schedules,
+            meta=dict(meta or {}),
+        )
+
+    def _normalize(self, item) -> BatchJob:
+        if isinstance(item, BatchJob):
+            return item
+        if isinstance(item, EzRTSpec):
+            return self.make_job(item)
+        raise TypeError(
+            f"batch jobs must be EzRTSpec or BatchJob, got "
+            f"{type(item).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, items) -> BatchResult:
+        """Execute every job; outcomes come back in submission order."""
+        jobs = [self._normalize(item) for item in items]
+        stats = BatchStats(
+            total=len(jobs), workers=max(1, self.max_workers)
+        )
+        outcomes: list[JobOutcome | None] = [None] * len(jobs)
+        started = time.monotonic()
+
+        pending: list[int] = []
+        first_with_key: dict[str, int] = {}
+        followers: dict[int, list[int]] = {}
+        for index, job in enumerate(jobs):
+            key = job.key()
+            cached = (
+                self.cache.get(key)
+                if self.cache is not None
+                else None
+            )
+            if cached is not None:
+                outcomes[index] = self._replay(cached, job)
+                stats.cache_hits += 1
+                continue
+            if self.cache is not None:
+                stats.cache_misses += 1
+            leader = first_with_key.get(key)
+            if leader is None:
+                first_with_key[key] = index
+                pending.append(index)
+            else:
+                # duplicate point inside one batch: execute once,
+                # fan the outcome out afterwards
+                followers.setdefault(leader, []).append(index)
+                stats.deduplicated += 1
+
+        if pending:
+            if self.max_workers <= 1 or len(pending) == 1:
+                for index in pending:
+                    outcomes[index] = execute_job(jobs[index])
+            else:
+                self._run_pooled(jobs, pending, outcomes)
+
+        for index in pending:
+            outcome = outcomes[index]
+            assert outcome is not None
+            for duplicate in followers.get(index, ()):
+                outcomes[duplicate] = self._replay(
+                    outcome.to_dict(), jobs[duplicate]
+                )
+            if (
+                self.cache is not None
+                and outcome.status != STATUS_ERROR
+            ):
+                # errors are not cached: they may be environmental
+                # (killed worker, broken pool) rather than a property
+                # of the model
+                self.cache.put(outcome.key, outcome.to_dict())
+
+        stats.wall_seconds = time.monotonic() - started
+        executed = set(pending)
+        result_outcomes: list[JobOutcome] = []
+        for index, outcome in enumerate(outcomes):
+            assert outcome is not None
+            if outcome.status not in STATUSES:
+                outcome.status = STATUS_ERROR
+            setattr(
+                stats,
+                outcome.status,
+                getattr(stats, outcome.status) + 1,
+            )
+            if index in executed:
+                # cache hits replay stored elapsed times; only work
+                # actually done this run counts toward the overlap
+                stats.job_seconds += outcome.elapsed_seconds
+            result_outcomes.append(outcome)
+        return BatchResult(outcomes=result_outcomes, stats=stats)
+
+    @staticmethod
+    def _replay(payload: dict, job: BatchJob) -> JobOutcome:
+        """Materialise a stored/shared outcome for ``job``.
+
+        The fingerprint is name-free, so an identical task set solved
+        under another label still hits; the outcome is realigned to
+        this job's name and campaign metadata.
+        """
+        outcome = JobOutcome.from_dict(payload)
+        outcome.spec_name = job.spec.name
+        outcome.meta = dict(job.meta)
+        return outcome
+
+    def _run_pooled(
+        self,
+        jobs: list[BatchJob],
+        pending: list[int],
+        outcomes: list[JobOutcome | None],
+    ) -> None:
+        workers = min(self.max_workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_job, jobs[index]): index
+                for index in pending
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    outcomes[index] = future.result()
+                except Exception as err:  # noqa: BLE001 — dead worker
+                    outcomes[index] = JobOutcome(
+                        spec_name=jobs[index].spec.name,
+                        status=STATUS_ERROR,
+                        key=jobs[index].key(),
+                        n_tasks=len(jobs[index].spec.tasks),
+                        error=f"{type(err).__name__}: {err}",
+                        meta=dict(jobs[index].meta),
+                    )

@@ -1,0 +1,267 @@
+"""Batch job description, execution and structured outcomes.
+
+A :class:`BatchJob` bundles everything one synthesis needs — the
+specification, translation options, search configuration, an optional
+per-job wall-clock budget and optional downstream stages (code
+generation, dispatcher simulation).  :func:`execute_job` runs the whole
+pipeline for one job and never raises: every failure mode is folded
+into a :class:`JobOutcome` with one of four statuses:
+
+* ``feasible`` — a pre-runtime schedule was found;
+* ``infeasible`` — the (policy-restricted) space was exhausted, or the
+  state budget ran out, without finding a schedule;
+* ``timeout`` — the per-job wall-clock budget expired mid-search;
+* ``error`` — any stage raised (invalid spec, composition failure,
+  worker crash); the message is preserved.
+
+``execute_job`` is a module-level function so
+:class:`concurrent.futures.ProcessPoolExecutor` can ship it to worker
+processes by reference.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.batch.cache import cache_key
+from repro.blocks.composer import ComposerOptions, compose
+from repro.codegen import generate_project
+from repro.scheduler.config import SchedulerConfig
+from repro.scheduler.dfs import find_schedule
+from repro.scheduler.schedule import schedule_from_result
+from repro.sim import run_schedule, verify_trace
+from repro.spec.model import EzRTSpec
+
+STATUS_FEASIBLE = "feasible"
+STATUS_INFEASIBLE = "infeasible"
+STATUS_TIMEOUT = "timeout"
+STATUS_ERROR = "error"
+STATUSES = (
+    STATUS_FEASIBLE,
+    STATUS_INFEASIBLE,
+    STATUS_TIMEOUT,
+    STATUS_ERROR,
+)
+
+
+@dataclass
+class BatchJob:
+    """One unit of work for the batch engine.
+
+    Attributes:
+        spec: the specification to synthesise.
+        options: spec → TPN translation options.
+        config: depth-first search configuration.
+        timeout: wall-clock budget in seconds for the schedule
+            *search*; folded into the scheduler's ``max_seconds`` (the
+            tighter of the two wins) and enforced cooperatively inside
+            the worker.  Composition and the optional codegen/simulate
+            stages run outside the budget — they are polynomial in the
+            model size, unlike the search.
+        codegen_target: when set, generate the C project for feasible
+            schedules and record its file count.
+        simulate: when True, execute feasible schedules on the
+            dispatcher machine and record trace violations.
+        store_schedule: keep the firing schedule in the outcome (off by
+            default: campaigns only need aggregate numbers and the
+            schedule of a large model is thousands of triples).
+        meta: free-form campaign parameters (e.g. ``n_tasks``,
+            ``utilization``, ``seed``); carried into the outcome and
+            its JSONL row, never into the cache key.
+    """
+
+    spec: EzRTSpec
+    options: ComposerOptions = field(default_factory=ComposerOptions)
+    config: SchedulerConfig = field(default_factory=SchedulerConfig)
+    timeout: float | None = None
+    codegen_target: str | None = None
+    simulate: bool = False
+    store_schedule: bool = False
+    meta: dict = field(default_factory=dict)
+
+    def effective_config(self) -> SchedulerConfig:
+        """Search config with the per-job timeout folded in."""
+        if self.timeout is None:
+            return self.config
+        budget = self.timeout
+        if self.config.max_seconds is not None:
+            budget = min(budget, self.config.max_seconds)
+        return replace(self.config, max_seconds=budget)
+
+    def key(self) -> str:
+        """Content-addressed cache key (see :mod:`repro.batch.cache`)."""
+        return cache_key(
+            self.spec,
+            self.options,
+            self.effective_config(),
+            self.codegen_target,
+            self.simulate,
+            self.store_schedule,
+        )
+
+
+@dataclass
+class JobOutcome:
+    """Structured result of one batch job.
+
+    ``search`` holds the deterministic DFS counters
+    (:meth:`repro.scheduler.result.SearchStats.as_dict` minus
+    ``elapsed_seconds``); wall-clock quantities live in
+    ``elapsed_seconds`` / ``search_seconds`` so :meth:`row` can stay
+    run-to-run deterministic.
+    """
+
+    spec_name: str
+    status: str
+    key: str
+    n_tasks: int
+    feasible: bool = False
+    exhausted: bool = False
+    schedule_length: int = 0
+    makespan: int = 0
+    search: dict = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    search_seconds: float = 0.0
+    error: str | None = None
+    codegen_files: int | None = None
+    trace_violations: int | None = None
+    firing_schedule: list | None = None
+    meta: dict = field(default_factory=dict)
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> dict:
+        """Full JSON payload (what the result cache persists)."""
+        return {
+            "spec_name": self.spec_name,
+            "status": self.status,
+            "key": self.key,
+            "n_tasks": self.n_tasks,
+            "feasible": self.feasible,
+            "exhausted": self.exhausted,
+            "schedule_length": self.schedule_length,
+            "makespan": self.makespan,
+            "search": dict(self.search),
+            "elapsed_seconds": self.elapsed_seconds,
+            "search_seconds": self.search_seconds,
+            "error": self.error,
+            "codegen_files": self.codegen_files,
+            "trace_violations": self.trace_violations,
+            "firing_schedule": self.firing_schedule,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobOutcome":
+        outcome = cls(
+            spec_name=payload["spec_name"],
+            status=payload["status"],
+            key=payload["key"],
+            n_tasks=payload["n_tasks"],
+        )
+        for name in (
+            "feasible",
+            "exhausted",
+            "schedule_length",
+            "makespan",
+            "search",
+            "elapsed_seconds",
+            "search_seconds",
+            "error",
+            "codegen_files",
+            "trace_violations",
+            "firing_schedule",
+            "meta",
+        ):
+            if name in payload:
+                setattr(outcome, name, payload[name])
+        if outcome.firing_schedule is not None:
+            outcome.firing_schedule = [
+                tuple(entry) for entry in outcome.firing_schedule
+            ]
+        return outcome
+
+    def row(self) -> dict:
+        """Deterministic JSONL row: no wall-clock, no schedule body.
+
+        Two runs of the same non-timeout job produce byte-identical
+        rows (timeout jobs explore machine-dependent state counts, but
+        cached re-runs replay the stored row verbatim either way).
+        """
+        return {
+            "spec": self.spec_name,
+            "status": self.status,
+            "key": self.key,
+            "n_tasks": self.n_tasks,
+            "feasible": self.feasible,
+            "exhausted": self.exhausted,
+            "schedule_length": self.schedule_length,
+            "makespan": self.makespan,
+            "search": {
+                name: value
+                for name, value in sorted(self.search.items())
+                if name != "elapsed_seconds"
+            },
+            "error": self.error,
+            "codegen_files": self.codegen_files,
+            "trace_violations": self.trace_violations,
+            "meta": dict(self.meta),
+        }
+
+
+def execute_job(job: BatchJob) -> JobOutcome:
+    """Run compose → schedule → (codegen/simulate) for one job.
+
+    Never raises: exceptions become ``error`` outcomes, an expired
+    wall-clock budget becomes ``timeout``.  Runs in pool workers, so it
+    must stay importable at module level and return picklable values.
+    """
+    started = time.monotonic()
+    outcome = JobOutcome(
+        spec_name=job.spec.name,
+        status=STATUS_ERROR,
+        key=job.key(),
+        n_tasks=len(job.spec.tasks),
+        meta=dict(job.meta),
+    )
+    config = job.effective_config()
+    try:
+        model = compose(job.spec, job.options)
+        result = find_schedule(model, config)
+        search = result.stats.as_dict()
+        outcome.search_seconds = search.pop("elapsed_seconds", 0.0)
+        outcome.search = search
+        outcome.feasible = result.feasible
+        outcome.exhausted = result.exhausted
+        if result.feasible:
+            outcome.status = STATUS_FEASIBLE
+            outcome.schedule_length = result.schedule_length
+            outcome.makespan = result.makespan
+            if job.store_schedule:
+                outcome.firing_schedule = list(result.firing_schedule)
+            if job.codegen_target or job.simulate:
+                schedule = schedule_from_result(model, result)
+                if job.codegen_target:
+                    project = generate_project(
+                        model, schedule, job.codegen_target
+                    )
+                    outcome.codegen_files = len(project.files)
+                if job.simulate:
+                    machine_result = run_schedule(model, schedule)
+                    outcome.trace_violations = len(
+                        verify_trace(model, machine_result)
+                    )
+        else:
+            timed_out = (
+                result.exhausted
+                and config.max_seconds is not None
+                and outcome.search_seconds >= config.max_seconds
+            )
+            outcome.status = (
+                STATUS_TIMEOUT if timed_out else STATUS_INFEASIBLE
+            )
+    except Exception as err:  # noqa: BLE001 — workers must not raise
+        outcome.status = STATUS_ERROR
+        outcome.error = f"{type(err).__name__}: {err}"
+    outcome.elapsed_seconds = time.monotonic() - started
+    return outcome

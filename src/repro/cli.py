@@ -11,6 +11,9 @@ Subcommands mirror the stages of the ezRealtime architecture:
   schedule + generated C project;
 * ``ezrt simulate spec.xml`` — execute the synthesised table on the
   dispatcher machine and verify the trace;
+* ``ezrt batch spec1.xml @fig3 ...`` — synthesise many specs
+  concurrently over a process pool, with result caching, JSONL output
+  and campaign grids (``--n-tasks/--utilizations/--seeds``);
 * ``ezrt examples`` — list the built-in case studies (usable wherever
   a spec file is expected, via ``@name``).
 """
@@ -21,9 +24,10 @@ import argparse
 import sys
 
 from repro.errors import EzRealtimeError
-from repro.analysis import full_report
+from repro.analysis import campaign_report, full_report
+from repro.batch import BatchEngine, CampaignGrid, ResultCache
 from repro.blocks import BlockStyle, ComposerOptions, compose
-from repro.codegen import generate_project
+from repro.codegen import TARGETS, generate_project
 from repro.pnml import save as pnml_save
 from repro.scheduler import (
     SchedulerConfig,
@@ -189,6 +193,100 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _parse_int_list(text: str) -> tuple[int, ...]:
+    """``"2,4,8"`` or range ``"0-5"`` → tuple of ints."""
+    values: list[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        first, dash, last = part.partition("-")
+        try:
+            if dash and first.isdigit() and last.isdigit():
+                if int(first) > int(last):
+                    raise EzRealtimeError(
+                        f"descending range {part!r}; write "
+                        f"{last}-{first}"
+                    )
+                values.extend(range(int(first), int(last) + 1))
+            else:
+                values.append(int(part))
+        except ValueError:
+            raise EzRealtimeError(
+                f"expected an integer or A-B range, got {part!r}"
+            ) from None
+    if not values:
+        raise EzRealtimeError(f"empty integer list {text!r}")
+    return tuple(values)
+
+
+def _parse_float_list(text: str) -> tuple[float, ...]:
+    values = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            values.append(float(part))
+        except ValueError:
+            raise EzRealtimeError(
+                f"expected a number, got {part!r}"
+            ) from None
+    if not values:
+        raise EzRealtimeError(f"empty float list {text!r}")
+    return tuple(values)
+
+
+def _cmd_batch(args) -> int:
+    # a memory-only cache cannot hit within one CLI invocation (and
+    # in-batch duplicates are deduplicated anyway), so only build one
+    # when there is a directory to persist it in
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    engine = BatchEngine(
+        composer_options=_composer_options(args),
+        scheduler_config=_scheduler_config(args),
+        max_workers=args.jobs,
+        job_timeout=args.timeout,
+        cache=cache,
+        codegen_target=args.target,
+        simulate=args.simulate,
+    )
+    jobs = [
+        engine.make_job(_load_spec(ref), meta={"source": ref})
+        for ref in args.specs
+    ]
+    if args.n_tasks or args.utilizations:
+        if not (args.n_tasks and args.utilizations):
+            raise EzRealtimeError(
+                "campaign grids need both --n-tasks and --utilizations"
+            )
+        grid = CampaignGrid(
+            n_tasks=_parse_int_list(args.n_tasks),
+            utilizations=_parse_float_list(args.utilizations),
+            seeds=_parse_int_list(args.seeds),
+        )
+        jobs.extend(grid.jobs(engine))
+    if not jobs:
+        raise EzRealtimeError(
+            "nothing to do: give spec files/@builtins or a campaign "
+            "grid (--n-tasks/--utilizations)"
+        )
+    result = engine.run(jobs)
+    if args.output:
+        result.write_jsonl(args.output)
+    print(campaign_report(result.rows(), result.stats.as_dict()))
+    if args.output:
+        print(f"\nwrote {len(result.outcomes)} row(s) to {args.output}")
+    if args.verbose:
+        print()
+        for outcome in result.outcomes:
+            line = f"  {outcome.spec_name:<32} {outcome.status}"
+            if outcome.error:
+                line += f"  ({outcome.error})"
+            print(line)
+    return 1 if result.stats.error else 0
+
+
 def _cmd_export(args) -> int:
     spec = _load_spec(args.spec)
     dsl_save(spec, args.output)
@@ -238,7 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--target",
         default="hostsim",
-        choices=("hostsim", "8051", "arm9", "m68k", "x86"),
+        choices=sorted(TARGETS),
     )
     _add_model_arguments(p)
     _add_search_arguments(p)
@@ -252,6 +350,76 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(p)
     _add_search_arguments(p)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "batch",
+        help="synthesise many specs concurrently (pool + cache)",
+    )
+    p.add_argument(
+        "specs",
+        nargs="*",
+        help="spec files or @builtins (may be combined with a grid)",
+    )
+    p.add_argument(
+        "--n-tasks",
+        help="campaign grid: task counts, e.g. 2,4,8 or 2-8",
+    )
+    p.add_argument(
+        "--utilizations",
+        help="campaign grid: utilisations, e.g. 0.3,0.5,0.7",
+    )
+    p.add_argument(
+        "--seeds",
+        default="0",
+        help="campaign grid: seeds, e.g. 0,1,2 or 0-9 (default: 0)",
+    )
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: CPU count; 1 = in-process)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job schedule-search budget in seconds",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "persist the result cache to this directory (re-runs "
+            "skip already-solved jobs); caching is off without it"
+        ),
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write per-job JSONL rows to this file",
+    )
+    p.add_argument(
+        "--target",
+        default=None,
+        choices=sorted(TARGETS),
+        help="also generate code for feasible schedules",
+    )
+    p.add_argument(
+        "--simulate",
+        action="store_true",
+        help="also simulate feasible schedules on the dispatcher",
+    )
+    p.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="print one status line per job",
+    )
+    _add_model_arguments(p)
+    _add_search_arguments(p)
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("export", help="write a built-in spec as XML")
     p.add_argument("spec")

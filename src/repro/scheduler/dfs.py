@@ -39,7 +39,10 @@ from repro.tpn.interval import INF
 from repro.tpn.net import CompiledNet, ROLE_DEADLINE_MISS
 from repro.tpn.state import DISABLED, State, StateEngine
 
-_TIME_CHECK_MASK = 0x3FF  # check the wall clock every 1024 expansions
+# check the wall clock every 1024 expansions; the budget is measured
+# on time.monotonic() — never the adjustable system clock — matching
+# the batch engine's timing
+_TIME_CHECK_MASK = 0x3FF
 
 
 class PreRuntimeScheduler:
@@ -87,7 +90,7 @@ class PreRuntimeScheduler:
         engine = self.engine
         net = self.net
         stats = SearchStats()
-        started = time.perf_counter()
+        started = time.monotonic()
         deadline = (
             None
             if config.max_seconds is None
@@ -103,7 +106,7 @@ class PreRuntimeScheduler:
         stats.states_visited = 1
 
         if net.is_final(s0.marking):
-            stats.elapsed_seconds = time.perf_counter() - started
+            stats.elapsed_seconds = time.monotonic() - started
             return SchedulerResult(
                 feasible=True, stats=stats, config=config
             )
@@ -134,7 +137,7 @@ class PreRuntimeScheduler:
             if (
                 deadline is not None
                 and not stats.states_generated & _TIME_CHECK_MASK
-                and time.perf_counter() > deadline
+                and time.monotonic() > deadline
             ):
                 exhausted = True
                 break
@@ -151,7 +154,7 @@ class PreRuntimeScheduler:
             action = (transition, delay, now + delay)
 
             if net.is_final(child.marking):
-                stats.elapsed_seconds = time.perf_counter() - started
+                stats.elapsed_seconds = time.monotonic() - started
                 schedule = [
                     (
                         net.transition_names[f[4][0]],
@@ -188,7 +191,7 @@ class PreRuntimeScheduler:
                 ]
             )
 
-        stats.elapsed_seconds = time.perf_counter() - started
+        stats.elapsed_seconds = time.monotonic() - started
         return SchedulerResult(
             feasible=False,
             stats=stats,

@@ -93,6 +93,42 @@ def random_task_set(
     return builder.build()
 
 
+def campaign_task_sets(
+    n_tasks_values,
+    utilizations,
+    seeds,
+    preemptive_fraction: float = 0.0,
+    deadline_slack: float = 1.0,
+    period_grid: tuple[int, ...] = PERIOD_GRID,
+):
+    """Deterministic ``(params, spec)`` sweep over a campaign grid.
+
+    Iterates the cartesian product ``n_tasks × utilization × seed`` in
+    stable nested order (outermost varies slowest), yielding the
+    parameter dict alongside the generated specification — the raw
+    material of :func:`repro.batch.run_campaign`.  Everything is
+    deterministic given the grid, so two sweeps of the same grid
+    produce identical specifications (up to auto-assigned ``ez...``
+    identifiers, which the batch cache ignores).
+    """
+    for n_tasks in n_tasks_values:
+        for utilization in utilizations:
+            for seed in seeds:
+                params = {
+                    "n_tasks": n_tasks,
+                    "utilization": utilization,
+                    "seed": seed,
+                }
+                yield params, random_task_set(
+                    n_tasks,
+                    utilization,
+                    seed=seed,
+                    preemptive_fraction=preemptive_fraction,
+                    deadline_slack=deadline_slack,
+                    period_grid=period_grid,
+                )
+
+
 def random_task_set_with_relations(
     n_tasks: int,
     total_utilization: float = 0.4,

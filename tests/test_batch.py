@@ -1,0 +1,435 @@
+"""Tests of the ``repro.batch`` subsystem: engine, cache, campaigns.
+
+Covers the failure paths the subsystem exists to contain — a worker
+raising mid-job, per-job timeout expiry, cache hit/miss accounting —
+plus determinism of the JSONL output across runs with a fixed seed,
+cache-key semantics, the campaign runner and the ``ezrt batch`` CLI.
+"""
+
+import json
+
+import pytest
+
+from repro.batch import (
+    BatchEngine,
+    BatchJob,
+    CampaignGrid,
+    ResultCache,
+    STATUS_ERROR,
+    STATUS_FEASIBLE,
+    STATUS_INFEASIBLE,
+    STATUS_TIMEOUT,
+    cache_key,
+    execute_job,
+    run_campaign,
+)
+from repro.blocks import ComposerOptions
+from repro.cli import main
+from repro.errors import SpecificationError
+from repro.scheduler import SchedulerConfig
+from repro.spec import fig3_precedence, fig4_exclusion, mine_pump
+from repro.spec.model import EzRTSpec, Task
+from repro.workloads import campaign_task_sets, random_task_set
+
+
+def broken_spec() -> EzRTSpec:
+    """A spec that passes construction but explodes inside the worker.
+
+    ``Task`` accepts ``deadline < computation`` (the builder and DSL
+    validate, direct construction does not); composition then raises —
+    exactly the mid-job worker failure the engine must contain.
+    """
+    return EzRTSpec(
+        "broken",
+        tasks=[Task("t0", computation=5, deadline=2, period=10)],
+    )
+
+
+class TestExecuteJob:
+    def test_feasible(self):
+        outcome = execute_job(BatchJob(spec=fig3_precedence()))
+        assert outcome.status == STATUS_FEASIBLE
+        assert outcome.feasible
+        assert outcome.schedule_length > 0
+        assert outcome.makespan > 0
+        assert outcome.n_tasks == 3
+        assert outcome.error is None
+        assert outcome.firing_schedule is None  # not stored by default
+
+    def test_infeasible(self):
+        # two tasks that each need the whole period: c1 + c2 > p
+        spec = EzRTSpec(
+            "overfull",
+            tasks=[
+                Task("a", computation=6, deadline=10, period=10),
+                Task("b", computation=6, deadline=10, period=10),
+            ],
+        )
+        outcome = execute_job(BatchJob(spec=spec))
+        assert outcome.status == STATUS_INFEASIBLE
+        assert not outcome.feasible
+        assert not outcome.exhausted
+
+    def test_worker_error_is_contained(self):
+        outcome = execute_job(BatchJob(spec=broken_spec()))
+        assert outcome.status == STATUS_ERROR
+        assert outcome.error is not None
+        assert "SpecificationError" in outcome.error
+
+    def test_timeout_expiry(self):
+        # mine-pump generates >1024 states, so the DFS wall-clock
+        # check fires and an (effectively) zero budget must expire
+        outcome = execute_job(
+            BatchJob(spec=mine_pump(), timeout=1e-6)
+        )
+        assert outcome.status == STATUS_TIMEOUT
+        assert outcome.exhausted
+        assert not outcome.feasible
+
+    def test_store_schedule(self):
+        outcome = execute_job(
+            BatchJob(spec=fig3_precedence(), store_schedule=True)
+        )
+        assert outcome.firing_schedule
+        assert len(outcome.firing_schedule) == outcome.schedule_length
+
+    def test_codegen_and_simulate_stages(self):
+        outcome = execute_job(
+            BatchJob(
+                spec=fig3_precedence(),
+                codegen_target="hostsim",
+                simulate=True,
+            )
+        )
+        assert outcome.status == STATUS_FEASIBLE
+        assert outcome.codegen_files and outcome.codegen_files > 0
+        assert outcome.trace_violations == 0
+
+    def test_effective_config_folds_timeout(self):
+        job = BatchJob(
+            spec=fig3_precedence(),
+            config=SchedulerConfig(max_seconds=10.0),
+            timeout=2.0,
+        )
+        assert job.effective_config().max_seconds == 2.0
+        job = BatchJob(
+            spec=fig3_precedence(),
+            config=SchedulerConfig(max_seconds=1.0),
+            timeout=2.0,
+        )
+        assert job.effective_config().max_seconds == 1.0
+
+
+class TestCacheKey:
+    def test_identifier_and_name_insensitive(self):
+        # same content, freshly generated identifiers each build
+        a = random_task_set(3, 0.4, seed=7)
+        b = random_task_set(3, 0.4, seed=7, name="другое-имя")
+        options, config = ComposerOptions(), SchedulerConfig()
+        assert cache_key(a, options, config) == cache_key(
+            b, options, config
+        )
+
+    def test_sensitive_to_content_and_config(self):
+        spec = random_task_set(3, 0.4, seed=7)
+        other = random_task_set(3, 0.4, seed=8)
+        options, config = ComposerOptions(), SchedulerConfig()
+        base = cache_key(spec, options, config)
+        assert cache_key(other, options, config) != base
+        assert (
+            cache_key(spec, ComposerOptions(style="expanded"), config)
+            != base
+        )
+        assert (
+            cache_key(
+                spec, options, SchedulerConfig(delay_mode="extremes")
+            )
+            != base
+        )
+        assert cache_key(spec, options, config, simulate=True) != base
+
+    def test_timeout_changes_key(self):
+        spec = fig3_precedence()
+        assert (
+            BatchJob(spec=spec, timeout=1.0).key()
+            != BatchJob(spec=spec, timeout=2.0).key()
+        )
+
+
+class TestResultCache:
+    def test_hit_miss_accounting(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        assert cache.get("deadbeef") is None
+        cache.put("deadbeef", {"status": "feasible"})
+        assert cache.get("deadbeef") == {"status": "feasible"}
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert "deadbeef" in cache
+        assert len(cache) == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        ResultCache(directory).put("k", {"x": 1})
+        fresh = ResultCache(directory)
+        assert fresh.get("k") == {"x": 1}
+        assert fresh.hits == 1
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put("k", {"x": 1})
+        cache.clear()
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+
+class TestBatchEngine:
+    def test_serial_run_preserves_order(self):
+        engine = BatchEngine(max_workers=1)
+        specs = [fig3_precedence(), fig4_exclusion()]
+        result = engine.run(specs)
+        assert [o.spec_name for o in result.outcomes] == [
+            "fig3-precedence",
+            "fig4-exclusion",
+        ]
+        assert result.stats.total == 2
+        assert result.stats.feasible == 2
+        assert result.stats.wall_seconds > 0
+
+    def test_pooled_run_matches_serial(self):
+        specs = [fig3_precedence(), fig4_exclusion(), broken_spec()]
+        serial = BatchEngine(max_workers=1).run(specs)
+        pooled = BatchEngine(max_workers=2).run(specs)
+        assert serial.to_jsonl() == pooled.to_jsonl()
+        assert pooled.stats.error == 1
+
+    def test_mixed_statuses_counted(self):
+        engine = BatchEngine(max_workers=1, job_timeout=1e-6)
+        result = engine.run(
+            [
+                BatchJob(spec=fig3_precedence()),  # no timeout set
+                BatchJob(spec=mine_pump(), timeout=1e-6),
+                BatchJob(spec=broken_spec()),
+            ]
+        )
+        statuses = [o.status for o in result.outcomes]
+        assert statuses == [
+            STATUS_FEASIBLE,
+            STATUS_TIMEOUT,
+            STATUS_ERROR,
+        ]
+        assert result.stats.feasible == 1
+        assert result.stats.timeout == 1
+        assert result.stats.error == 1
+
+    def test_cache_hits_and_misses(self):
+        cache = ResultCache()
+        engine = BatchEngine(max_workers=1, cache=cache)
+        specs = [fig3_precedence(), fig4_exclusion()]
+        first = engine.run(specs)
+        assert first.stats.cache_hits == 0
+        assert first.stats.cache_misses == 2
+        second = engine.run(specs)
+        assert second.stats.cache_hits == 2
+        assert second.stats.cache_misses == 0
+        assert second.stats.hit_rate == 1.0
+        assert first.to_jsonl() == second.to_jsonl()
+
+    def test_duplicate_jobs_execute_once(self):
+        engine = BatchEngine(max_workers=1)
+        result = engine.run(
+            [fig3_precedence(), fig3_precedence(), fig3_precedence()]
+        )
+        assert result.stats.deduplicated == 2
+        assert result.stats.feasible == 3
+        rows = result.rows()
+        assert rows[0] == rows[1] == rows[2]
+
+    def test_errors_are_not_cached(self):
+        cache = ResultCache()
+        engine = BatchEngine(max_workers=1, cache=cache)
+        engine.run([broken_spec()])
+        result = engine.run([broken_spec()])
+        # second run misses again: the error re-executed
+        assert result.stats.cache_hits == 0
+        assert result.stats.cache_misses == 1
+        assert result.outcomes[0].status == STATUS_ERROR
+
+    def test_rejects_unknown_items(self):
+        with pytest.raises(TypeError):
+            BatchEngine(max_workers=1).run(["not a spec"])
+
+    def test_jsonl_rows_are_wall_clock_free(self):
+        result = BatchEngine(max_workers=1).run([fig3_precedence()])
+        row = result.rows()[0]
+        assert "elapsed_seconds" not in json.dumps(row)
+        assert row["status"] == STATUS_FEASIBLE
+        assert row["search"]["states_visited"] > 0
+
+
+class TestCampaign:
+    GRID = CampaignGrid(
+        n_tasks=(2, 3),
+        utilizations=(0.3, 0.5),
+        seeds=(0, 1),
+    )
+
+    def test_grid_size_and_sweep_order(self):
+        assert self.GRID.size == 8
+        params = [
+            p
+            for p, _spec in campaign_task_sets(
+                (2, 3), (0.3, 0.5), (0, 1)
+            )
+        ]
+        assert params[0] == {
+            "n_tasks": 2,
+            "utilization": 0.3,
+            "seed": 0,
+        }
+        assert params[-1] == {
+            "n_tasks": 3,
+            "utilization": 0.5,
+            "seed": 1,
+        }
+        assert len(params) == 8
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SpecificationError):
+            CampaignGrid(n_tasks=(), utilizations=(0.3,))
+
+    def test_jsonl_deterministic_across_fresh_runs(self, tmp_path):
+        # two engines, no shared cache, fixed grid seeds
+        for name in ("a", "b"):
+            engine = BatchEngine(max_workers=1, job_timeout=30.0)
+            run_campaign(
+                self.GRID,
+                engine,
+                jsonl_path=str(tmp_path / f"{name}.jsonl"),
+            )
+        assert (tmp_path / "a.jsonl").read_bytes() == (
+            tmp_path / "b.jsonl"
+        ).read_bytes()
+
+    def test_cached_rerun_is_byte_identical(self, tmp_path):
+        cache = ResultCache()
+        engine = BatchEngine(max_workers=1, cache=cache)
+        first = run_campaign(
+            self.GRID, engine, jsonl_path=str(tmp_path / "1.jsonl")
+        )
+        second = run_campaign(
+            self.GRID, engine, jsonl_path=str(tmp_path / "2.jsonl")
+        )
+        assert second.stats.hit_rate >= 0.9
+        assert (tmp_path / "1.jsonl").read_bytes() == (
+            tmp_path / "2.jsonl"
+        ).read_bytes()
+        assert first.stats.cache_misses == self.GRID.size
+
+    def test_report_contents(self):
+        campaign = run_campaign(
+            self.GRID, BatchEngine(max_workers=1)
+        )
+        assert "jobs             : 8" in campaign.report
+        assert "feasible/point" in campaign.report
+        assert "n=2" in campaign.report and "n=3" in campaign.report
+
+    def test_rows_carry_campaign_meta(self):
+        campaign = run_campaign(
+            self.GRID, BatchEngine(max_workers=1)
+        )
+        row = campaign.result.rows()[0]
+        assert row["meta"] == {
+            "n_tasks": 2,
+            "utilization": 0.3,
+            "seed": 0,
+        }
+
+
+class TestTopLevelExports:
+    def test_workload_generators_exported(self):
+        import repro
+
+        assert repro.random_task_set is random_task_set
+        assert "random_task_set" in repro.__all__
+        assert "uunifast" in repro.__all__
+        spec = repro.random_task_set(3, 0.4, seed=1)
+        assert len(spec.tasks) == 3
+        assert abs(sum(repro.uunifast(4, 0.5, __import__("random").Random(0))) - 0.5) < 1e-9
+
+    def test_batch_api_exported(self):
+        import repro
+
+        assert repro.BatchEngine is BatchEngine
+        assert "run_campaign" in repro.__all__
+
+
+class TestCliBatch:
+    def test_builtin_specs_with_output(self, tmp_path, capsys):
+        out = tmp_path / "rows.jsonl"
+        code = main(
+            ["batch", "@fig3", "@fig4", "-j", "1", "-o", str(out)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "2 feasible" in printed
+        rows = [
+            json.loads(line)
+            for line in out.read_text().splitlines()
+        ]
+        assert [r["spec"] for r in rows] == [
+            "fig3-precedence",
+            "fig4-exclusion",
+        ]
+        assert all(r["status"] == "feasible" for r in rows)
+
+    def test_campaign_grid_with_cache_dir(self, tmp_path, capsys):
+        args = [
+            "batch",
+            "--n-tasks", "2,3",
+            "--utilizations", "0.3",
+            "--seeds", "0-1",
+            "-j", "1",
+            "--timeout", "30",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "jobs             : 4" in first
+        assert main(args) == 0  # second run served from disk cache
+        second = capsys.readouterr().out
+        assert "4 hit(s)" in second
+        assert "(100% hit rate)" in second
+
+    def test_grid_requires_both_axes(self, capsys):
+        assert main(["batch", "--n-tasks", "2"]) == 2
+        assert "campaign grids" in capsys.readouterr().err
+
+    def test_no_work_is_an_error(self, capsys):
+        assert main(["batch"]) == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_verbose_lists_jobs(self, capsys):
+        assert main(["batch", "@fig3", "-j", "1", "-v"]) == 0
+        assert "fig3-precedence" in capsys.readouterr().out
+
+
+class TestSchedulerMonotonicBudget:
+    def test_dfs_never_reads_the_system_clock(self):
+        # the budget must survive system clock adjustments, so the
+        # adjustable wall clock is banned from the search entirely
+        import inspect
+
+        from repro.scheduler import dfs
+
+        assert "time.time()" not in inspect.getsource(dfs)
+
+    def test_max_seconds_budget_still_enforced(self):
+        from repro.blocks import compose
+        from repro.scheduler import find_schedule
+
+        spec = random_task_set(6, 0.75, seed=1)
+        result = find_schedule(
+            compose(spec), SchedulerConfig(max_seconds=0.05)
+        )
+        assert not result.feasible
+        assert result.exhausted
