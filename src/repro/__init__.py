@@ -70,7 +70,13 @@ from repro.scheduler import (
     schedule_from_result,
     simulate_runtime,
 )
-from repro.sim import DispatcherMachine, run_schedule, verify_trace
+from repro.sim import (
+    DispatcherMachine,
+    NetSimulator,
+    run_schedule,
+    simulate_net,
+    verify_trace,
+)
 from repro.spec import (
     EzRTSpec,
     SchedulingType,
@@ -109,6 +115,7 @@ __all__ = [
     "InfeasibleScheduleError",
     "JobOutcome",
     "NetConstructionError",
+    "NetSimulator",
     "PNMLError",
     "ResultCache",
     "SchedulerConfig",
@@ -138,6 +145,7 @@ __all__ = [
     "run_campaign",
     "run_schedule",
     "schedule_from_result",
+    "simulate_net",
     "simulate_runtime",
     "uunifast",
     "verify_trace",

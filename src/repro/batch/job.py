@@ -29,6 +29,7 @@ from repro.blocks.composer import ComposerOptions, compose
 from repro.codegen import generate_project
 from repro.scheduler.config import SchedulerConfig
 from repro.scheduler.dfs import find_schedule
+from repro.scheduler.result import SearchStats
 from repro.scheduler.schedule import schedule_from_result
 from repro.sim import run_schedule, verify_trace
 from repro.spec.model import EzRTSpec
@@ -200,7 +201,7 @@ class JobOutcome:
             "search": {
                 name: value
                 for name, value in sorted(self.search.items())
-                if name != "elapsed_seconds"
+                if name not in SearchStats.WALL_CLOCK_KEYS
             },
             "error": self.error,
             "codegen_files": self.codegen_files,
@@ -227,9 +228,13 @@ def execute_job(job: BatchJob) -> JobOutcome:
     config = job.effective_config()
     try:
         model = compose(job.spec, job.options)
+        # one compilation per job: find_schedule populates the model's
+        # compiled-net cache, and the codegen/simulate stages below all
+        # operate on the same `model` instead of re-freezing the net
         result = find_schedule(model, config)
         search = result.stats.as_dict()
         outcome.search_seconds = search.pop("elapsed_seconds", 0.0)
+        search.pop("states_per_second", None)  # wall-clock-derived
         outcome.search = search
         outcome.feasible = result.feasible
         outcome.exhausted = result.exhausted

@@ -38,7 +38,7 @@ from repro.blocks.relations import (
 from repro.spec.model import EzRTSpec, Task
 from repro.spec.timing import instance_count, schedule_period
 from repro.spec.validation import ensure_valid
-from repro.tpn.net import TimePetriNet
+from repro.tpn.net import CompiledNet, TimePetriNet
 
 #: Priority policies for scheduling-decision transitions (grant/gate).
 #: ``dm`` — deadline monotonic (smaller relative deadline = higher
@@ -91,6 +91,22 @@ class ComposedModel:
     nodes: dict[str, TaskNodes]
     options: ComposerOptions
     message_nodes: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: lazily cached compiled net — every pipeline stage (schedule,
+    #: codegen, simulate, reporting) shares one compilation instead of
+    #: re-freezing the net per stage.
+    _compiled: CompiledNet | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def compiled(self) -> CompiledNet:
+        """The index-based :class:`CompiledNet`, compiled once.
+
+        The model's net must not be mutated after the first call; the
+        composer never does, and neither should downstream code.
+        """
+        if self._compiled is None:
+            self._compiled = self.net.compile()
+        return self._compiled
 
     @property
     def total_instances(self) -> int:

@@ -143,12 +143,18 @@ def _cmd_compile(args) -> int:
 def _cmd_schedule(args) -> int:
     spec = _load_spec(args.spec)
     model = compose(spec, _composer_options(args))
-    result = find_schedule(model, _scheduler_config(args))
+    result = find_schedule(
+        model, _scheduler_config(args), engine=args.engine
+    )
     if not result.feasible:
         print(full_report(model, result))
+        if args.profile:
+            print("\nsearch profile:\n" + result.stats.profile())
         return 1
     schedule = schedule_from_result(model, result)
     print(full_report(model, result, schedule, gantt=args.gantt))
+    if args.profile:
+        print("\nsearch profile:\n" + result.stats.profile())
     return 0
 
 
@@ -326,6 +332,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("schedule", help="synthesise a schedule")
     p.add_argument("spec")
     p.add_argument("--gantt", action="store_true")
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print search statistics (visited, generated, prunes, "
+            "reductions, throughput)"
+        ),
+    )
+    p.add_argument(
+        "--engine",
+        choices=("incremental", "reference"),
+        default="incremental",
+        help=(
+            "successor engine: the O(degree) incremental hot path "
+            "(default) or the checked reference semantics"
+        ),
+    )
     _add_model_arguments(p)
     _add_search_arguments(p)
     p.set_defaults(func=_cmd_schedule)

@@ -25,6 +25,18 @@ Search structure (matching the paper's description):
 * candidates are ordered by ``(delay, priority, index)``, so the search
   is work-conserving first and urgency-driven second; the stop
   criterion is reaching ``M_F``.
+
+Two successor engines drive the expansion:
+
+* ``engine="incremental"`` (default) — the
+  :class:`~repro.tpn.fastengine.IncrementalEngine` hot path: O(degree)
+  successor computation over the compile-time ``affected`` adjacency,
+  compact :class:`~repro.tpn.fastengine.FastState` states with cached
+  hashes and enabled sets;
+* ``engine="reference"`` — the checked-semantics
+  :class:`~repro.tpn.state.StateEngine` with dense O(|T|·|P|) rescans,
+  kept as the baseline the benchmarks and the CI smoke job
+  cross-validate against (identical schedules, identical state counts).
 """
 
 from __future__ import annotations
@@ -35,8 +47,9 @@ from repro.errors import InfeasibleScheduleError, SchedulingError
 from repro.blocks.composer import ComposedModel
 from repro.scheduler.config import SchedulerConfig
 from repro.scheduler.result import SchedulerResult, SearchStats
+from repro.tpn.fastengine import FastState, IncrementalEngine
 from repro.tpn.interval import INF
-from repro.tpn.net import CompiledNet, ROLE_DEADLINE_MISS
+from repro.tpn.net import CompiledNet
 from repro.tpn.state import DISABLED, State, StateEngine
 
 # check the wall clock every 1024 expansions; the budget is measured
@@ -44,40 +57,61 @@ from repro.tpn.state import DISABLED, State, StateEngine
 # the batch engine's timing
 _TIME_CHECK_MASK = 0x3FF
 
+ENGINES = ("incremental", "reference")
+
+
+class _Frame:
+    """One DFS stack entry (slotted: the stack is the hot data path)."""
+
+    __slots__ = ("state", "now", "candidates", "index", "action")
+
+    def __init__(
+        self,
+        state: FastState | State,
+        now: int,
+        candidates: list[tuple[int, int]],
+        action: tuple[int, int, int] | None = None,
+    ):
+        self.state = state
+        self.now = now
+        self.candidates = candidates
+        self.index = 0
+        self.action = action
+
 
 class PreRuntimeScheduler:
     """Depth-first schedule synthesiser over a compiled net."""
 
     def __init__(
-        self, net: CompiledNet, config: SchedulerConfig | None = None
+        self,
+        net: CompiledNet,
+        config: SchedulerConfig | None = None,
+        engine: str = "incremental",
     ):
+        if engine not in ENGINES:
+            raise SchedulingError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
         self.net = net
         self.config = config or SchedulerConfig()
+        self.engine_mode = engine
         self.engine = StateEngine(
             net, reset_policy=self.config.reset_policy
         )
-        self._miss_transitions = frozenset(
-            t
-            for t, role in enumerate(net.roles)
-            if role == ROLE_DEADLINE_MISS
+        self.fast = IncrementalEngine(
+            net, reset_policy=self.config.reset_policy
         )
-        self._preset_places = tuple(
-            frozenset(p for p, _w in row) for row in net.pre
-        )
-        consumers: dict[int, int] = {}
-        for row in net.pre:
-            for place, _w in row:
-                consumers[place] = consumers.get(place, 0) + 1
-        # Transitions that cannot conflict with anything, now or in the
-        # future: every input place is consumed by this transition only.
-        self._conflict_free = tuple(
-            all(consumers[p] == 1 for p in places) and bool(places)
-            for places in self._preset_places
-        )
-        self._postset_places = tuple(
-            frozenset(p for p, _w in row) for row in net.post
-        )
-        if not any(v is not None for v in net.final_marking):
+        # hoisted config knobs and net arrays (read once per candidate
+        # set instead of per attribute hop in the hot loop)
+        self._strict = self.config.priority_mode == "strict"
+        self._delay_mode = self.config.delay_mode
+        self._earliest = self.config.delay_mode == "earliest"
+        self._partial_order = self.config.partial_order
+        self._eft = net.eft
+        self._lft = net.lft
+        self._priority = net.priority
+        self._miss = net.miss_transitions
+        if not net.final_constraints:
             raise SchedulingError(
                 "net has no final marking; set one (the join block does "
                 "this automatically) before scheduling"
@@ -86,6 +120,156 @@ class PreRuntimeScheduler:
     # ------------------------------------------------------------------
     def search(self) -> SchedulerResult:
         """Run the DFS; returns a result whether or not it succeeds."""
+        if self.engine_mode == "incremental":
+            return self._search_fast()
+        return self._search_reference()
+
+    def _search_fast(self) -> SchedulerResult:
+        """DFS on the incremental engine (the production hot path)."""
+        config = self.config
+        net = self.net
+        stats = SearchStats()
+        started = time.monotonic()
+        deadline = (
+            None
+            if config.max_seconds is None
+            else started + config.max_seconds
+        )
+
+        s0 = self.fast.initial()
+        successor = self.fast.successor
+        candidates_of = self._candidates_fast
+
+        if net.has_missed_deadline(s0.marking):
+            raise SchedulingError(
+                "initial marking already contains a missed deadline"
+            )
+        visited = {s0}
+        stats.states_visited = 1
+
+        if net.is_final(s0.marking):
+            stats.elapsed_seconds = time.monotonic() - started
+            return SchedulerResult(
+                feasible=True, stats=stats, config=config
+            )
+
+        stack: list[_Frame] = [
+            _Frame(s0, 0, candidates_of(s0, stats))
+        ]
+        exhausted = False
+
+        # Hot-loop locals: the marking predicates re-run only when the
+        # fired transition can change their verdict (parents on the
+        # stack already passed both checks), and the per-expansion
+        # counters stay in locals, folded back into `stats` on exit.
+        touches_miss = net.touches_miss
+        touches_final = net.touches_final
+        has_missed = net.has_missed_deadline
+        is_final = net.is_final
+        max_states = config.max_states
+        monotonic = time.monotonic
+        visited_add = visited.add
+        n_visited = 1
+        n_generated = 0
+        n_revisits = 0
+        n_prunes = 0
+        n_backtracks = 0
+
+        try:
+            while stack:
+                frame = stack[-1]
+                index = frame.index
+                candidates = frame.candidates
+                if index >= len(candidates):
+                    stack.pop()
+                    if stack:
+                        n_backtracks += 1
+                    continue
+                frame.index = index + 1
+                transition, delay = candidates[index]
+
+                n_generated += 1
+                if (
+                    deadline is not None
+                    and not n_generated & _TIME_CHECK_MASK
+                    and monotonic() > deadline
+                ):
+                    exhausted = True
+                    break
+
+                child = successor(frame.state, transition, delay)
+                if touches_miss[transition] and has_missed(
+                    child.marking
+                ):
+                    n_prunes += 1
+                    continue
+                if child in visited:
+                    n_revisits += 1
+                    continue
+                visited_add(child)
+                n_visited += 1
+                now = frame.now
+                action = (transition, delay, now + delay)
+
+                if touches_final[transition] and is_final(
+                    child.marking
+                ):
+                    names = net.transition_names
+                    schedule = [
+                        (
+                            names[f.action[0]],
+                            f.action[1],
+                            f.action[2],
+                        )
+                        for f in stack[1:]
+                        if f.action is not None
+                    ]
+                    schedule.append(
+                        (names[transition], delay, now + delay)
+                    )
+                    stats.elapsed_seconds = monotonic() - started
+                    return SchedulerResult(
+                        feasible=True,
+                        firing_schedule=schedule,
+                        stats=stats,
+                        config=config,
+                    )
+
+                if n_visited >= max_states:
+                    exhausted = True
+                    break
+                stack.append(
+                    _Frame(
+                        child,
+                        now + delay,
+                        candidates_of(child, stats),
+                        action,
+                    )
+                )
+        finally:
+            stats.states_visited = n_visited
+            stats.states_generated = n_generated
+            stats.revisits_skipped = n_revisits
+            stats.deadline_prunes = n_prunes
+            stats.backtracks = n_backtracks
+
+        stats.elapsed_seconds = time.monotonic() - started
+        return SchedulerResult(
+            feasible=False,
+            stats=stats,
+            config=config,
+            exhausted=exhausted,
+        )
+
+    def _search_reference(self) -> SchedulerResult:
+        """DFS on the dense reference engine.
+
+        Byte-faithful to the pre-incremental scheduler (list frames,
+        per-child marking predicates, dense candidate scans): this is
+        the baseline the hot-path benchmark and the CI smoke job
+        measure and cross-validate against, so it intentionally does
+        NOT inherit the fast path's loop optimisations.
+        """
         config = self.config
         engine = self.engine
         net = self.net
@@ -113,7 +297,7 @@ class PreRuntimeScheduler:
 
         # Frame: [state, abs_time, candidates, next_index, action]
         stack: list[list] = [
-            [s0, 0, self._candidates(s0, stats), 0, None]
+            [s0, 0, self._candidates_ref(s0, stats), 0, None]
         ]
         exhausted = False
 
@@ -185,7 +369,7 @@ class PreRuntimeScheduler:
                 [
                     child,
                     now + delay,
-                    self._candidates(child, stats),
+                    self._candidates_ref(child, stats),
                     0,
                     action,
                 ]
@@ -200,17 +384,82 @@ class PreRuntimeScheduler:
         )
 
     # ------------------------------------------------------------------
-    def _candidates(
+    def _candidates_fast(
+        self, state: FastState, stats: SearchStats
+    ) -> list[tuple[int, int]]:
+        """Ordered ``(transition, delay)`` pairs — queue extraction.
+
+        Reads the ceiling in O(1) from the state's derived views and
+        extracts the firing window as a prefix of the lower-bound
+        queue, so the per-expansion cost tracks the number of
+        *fireable* transitions rather than the size of the net.
+        """
+        miss = self._miss
+        shift = state.shift
+        imms = state.imms
+
+        # O(1) ceiling: enabled immediates pin it to 0, otherwise the
+        # upper-bound queue head holds min DUB (INF when empty); the
+        # window is then a prefix of the lower-bound queue — no pass
+        # over the enabled set at all
+        if imms:
+            ceiling = 0
+            bound = shift
+            cands = [(t, 0) for t in imms if t not in miss]
+        else:
+            tub = state.tub
+            ceiling = tub[0][0] - shift if tub else INF
+            bound = shift + ceiling
+            cands = []
+        for v, tk in state.tlb:
+            if v > bound:
+                break
+            if tk not in miss:
+                lower = v - shift
+                cands.append((tk, lower if lower > 0 else 0))
+        if not cands:
+            return cands
+        cands.sort()
+
+        # specialised common path: earliest-delay, no strict filter —
+        # one candidate needs no ordering at all, several sort by
+        # (delay, priority, index)
+        if self._earliest and not self._strict:
+            if len(cands) == 1:
+                return cands
+            if self._partial_order:
+                reduced = self._independent_immediate_fast(
+                    cands, state.clocks, state.enabled
+                )
+                if reduced is not None:
+                    stats.reductions += 1
+                    return [reduced]
+            priority = self._priority
+            expanded = [
+                (lower, priority[t], t) for t, lower in cands
+            ]
+            expanded.sort()
+            return [(t, q) for q, _p, t in expanded]
+        return self._finalize(
+            cands, ceiling, state.clocks, state.enabled, stats
+        )
+
+    def _candidates_ref(
         self, state: State, stats: SearchStats
     ) -> list[tuple[int, int]]:
-        """Ordered ``(transition, delay)`` pairs to try from ``state``."""
+        """Reference candidate enumeration: dense scans over all of T.
+
+        Kept equivalent to the pre-incremental scheduler — two full
+        passes over the transition set per expansion — so the benchmark
+        baseline is honest and the equivalence suite has a fixed point
+        to compare against.
+        """
         net = self.net
         config = self.config
         eft = net.eft
         lft = net.lft
         clocks = state.clocks
 
-        # min DUB over enabled transitions (strong-semantics ceiling)
         ceiling = INF
         for t, clock in enumerate(clocks):
             if clock == DISABLED or lft[t] == INF:
@@ -219,7 +468,7 @@ class PreRuntimeScheduler:
             if bound < ceiling:
                 ceiling = bound
 
-        miss = self._miss_transitions
+        miss = net.miss_transitions
         cands: list[tuple[int, int]] = []
         for t, clock in enumerate(clocks):
             if clock == DISABLED or t in miss:
@@ -232,20 +481,22 @@ class PreRuntimeScheduler:
         if not cands:
             return []
 
+        priorities = net.priority
         if config.priority_mode == "strict":
-            priorities = net.priority
             best = min(priorities[t] for t, _lo in cands)
             cands = [
                 (t, lo) for t, lo in cands if priorities[t] == best
             ]
 
         if config.partial_order and len(cands) > 1:
-            reduced = self._independent_immediate(cands, state)
+            enabled = [
+                t for t, clock in enumerate(clocks) if clock != DISABLED
+            ]
+            reduced = self._independent_immediate(cands, clocks, enabled)
             if reduced is not None:
                 stats.reductions += 1
                 cands = [reduced]
 
-        priorities = net.priority
         expanded: list[tuple[int, int, int]] = []
         for t, lower in cands:
             if config.delay_mode == "earliest" or ceiling == INF:
@@ -260,8 +511,91 @@ class PreRuntimeScheduler:
         expanded.sort()
         return [(t, q) for q, _p, t in expanded]
 
+    def _finalize(
+        self,
+        cands: list[tuple[int, int]],
+        ceiling: float,
+        clocks: tuple[int, ...],
+        enabled,
+        stats: SearchStats,
+    ) -> list[tuple[int, int]]:
+        """Priority filter, partial-order reduction, delay expansion."""
+        if not cands:
+            return []
+        priorities = self.net.priority
+
+        if self._strict:
+            best = min(priorities[t] for t, _lo in cands)
+            cands = [
+                (t, lo) for t, lo in cands if priorities[t] == best
+            ]
+
+        if self._partial_order and len(cands) > 1:
+            reduced = self._independent_immediate_fast(
+                cands, clocks, enabled
+            )
+            if reduced is not None:
+                stats.reductions += 1
+                cands = [reduced]
+
+        delay_mode = self._delay_mode
+        if delay_mode == "earliest" or ceiling == INF:
+            if len(cands) == 1:
+                return cands
+            expanded = [
+                (lower, priorities[t], t) for t, lower in cands
+            ]
+            expanded.sort()
+            return [(t, q) for q, _p, t in expanded]
+
+        expanded = []
+        for t, lower in cands:
+            if delay_mode == "extremes":
+                upper = int(ceiling)
+                delays = (lower,) if upper == lower else (lower, upper)
+            else:  # full
+                delays = tuple(range(lower, int(ceiling) + 1))
+            for q in delays:
+                expanded.append((q, priorities[t], t))
+        expanded.sort()
+        return [(t, q) for q, _p, t in expanded]
+
+    def _independent_immediate_fast(
+        self,
+        cands: list[tuple[int, int]],
+        clocks: tuple[int, ...],
+        enabled,
+    ) -> tuple[int, int] | None:
+        """Partial-order reduction pick, static-set formulation.
+
+        Same decision as :meth:`_independent_immediate` (see there for
+        the soundness argument), but the clock-commutation condition
+        "``t``'s postset feeds no other enabled transition" walks the
+        precomputed (small) :attr:`CompiledNet.post_conflicts` set and
+        reads enabledness straight off the clock vector instead of
+        looping over the enabled transitions.
+        """
+        net = self.net
+        conflict_free = net.conflict_free
+        post_conflicts = net.post_conflicts
+        lft = self._lft
+        for t, lower in cands:
+            if lower != 0 or not conflict_free[t]:
+                continue
+            if lft[t] == INF or lft[t] - clocks[t] > 0:
+                continue  # not forced at this instant
+            for other in post_conflicts[t]:
+                if clocks[other] >= 0:
+                    break  # an enabled transition consumes from t•
+            else:
+                return (t, 0)
+        return None
+
     def _independent_immediate(
-        self, cands: list[tuple[int, int]], state: State
+        self,
+        cands: list[tuple[int, int]],
+        clocks: tuple[int, ...],
+        enabled,
     ) -> tuple[int, int] | None:
         """Pick a candidate that may soundly be fired without branching.
 
@@ -293,14 +627,11 @@ class PreRuntimeScheduler:
         releasing a task forecloses interleavings where another task's
         arrival advances time first), so only forced firings reduce.
         """
-        conflict_free = self._conflict_free
-        presets = self._preset_places
-        postsets = self._postset_places
-        lft = self.net.lft
-        clocks = state.clocks
-        enabled = [
-            t for t, clock in enumerate(clocks) if clock != DISABLED
-        ]
+        net = self.net
+        conflict_free = net.conflict_free
+        presets = net.pre_places
+        postsets = net.post_places
+        lft = net.lft
         for t, lower in cands:
             if lower != 0 or not conflict_free[t]:
                 continue
@@ -318,22 +649,27 @@ class PreRuntimeScheduler:
 
 
 def search(
-    net: CompiledNet, config: SchedulerConfig | None = None
+    net: CompiledNet,
+    config: SchedulerConfig | None = None,
+    engine: str = "incremental",
 ) -> SchedulerResult:
     """Synthesise a schedule for a compiled net."""
-    return PreRuntimeScheduler(net, config).search()
+    return PreRuntimeScheduler(net, config, engine=engine).search()
 
 
 def find_schedule(
-    model: ComposedModel, config: SchedulerConfig | None = None
+    model: ComposedModel,
+    config: SchedulerConfig | None = None,
+    engine: str = "incremental",
 ) -> SchedulerResult:
     """Synthesise a schedule for a composed model.
 
-    Convenience wrapper that compiles the net and attaches the model's
-    theoretical minimum firing count to the result for the paper's
+    Convenience wrapper that compiles the net (cached on the model, so
+    downstream stages reuse it) and attaches the model's theoretical
+    minimum firing count to the result for the paper's
     visited-vs-minimum comparison.
     """
-    result = search(model.net.compile(), config)
+    result = search(model.compiled(), config, engine=engine)
     result.minimum_firings = model.minimum_firings()
     return result
 

@@ -26,6 +26,18 @@ class SearchStats:
     reductions: int = 0
     elapsed_seconds: float = 0.0
 
+    #: Dict keys that depend on wall-clock time rather than the search
+    #: trajectory — deterministic consumers (batch JSONL rows, caches)
+    #: filter these out.
+    WALL_CLOCK_KEYS = ("elapsed_seconds", "states_per_second")
+
+    @property
+    def states_per_second(self) -> float:
+        """Search throughput: distinct states tagged per wall second."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.states_visited / self.elapsed_seconds
+
     def as_dict(self) -> dict[str, float]:
         return {
             "states_visited": self.states_visited,
@@ -35,7 +47,22 @@ class SearchStats:
             "backtracks": self.backtracks,
             "reductions": self.reductions,
             "elapsed_seconds": self.elapsed_seconds,
+            "states_per_second": self.states_per_second,
         }
+
+    def profile(self) -> str:
+        """Multi-line search-statistics report (``ezrt schedule --profile``)."""
+        lines = [
+            f"states visited   : {self.states_visited}",
+            f"states generated : {self.states_generated}",
+            f"revisits skipped : {self.revisits_skipped}",
+            f"deadline prunes  : {self.deadline_prunes}",
+            f"backtracks       : {self.backtracks}",
+            f"reductions       : {self.reductions}",
+            f"search time      : {self.elapsed_seconds * 1000:.1f} ms",
+            f"throughput       : {self.states_per_second:,.0f} states/s",
+        ]
+        return "\n".join(lines)
 
 
 @dataclass
@@ -93,6 +120,10 @@ class SchedulerResult:
         lines.append(f"states visited  : {self.stats.states_visited}")
         lines.append(
             f"search time     : {self.stats.elapsed_seconds * 1000:.1f} ms"
+        )
+        lines.append(
+            f"throughput      : "
+            f"{self.stats.states_per_second:,.0f} states/s"
         )
         lines.append(f"backtracks      : {self.stats.backtracks}")
         lines.append(f"deadline prunes : {self.stats.deadline_prunes}")

@@ -5,6 +5,12 @@ from repro.sim.machine import (
     MachineResult,
     run_schedule,
 )
+from repro.sim.netsim import (
+    NetSimRun,
+    NetSimulator,
+    WALK_POLICIES,
+    simulate_net,
+)
 from repro.sim.trace import EVENT_KINDS, Trace, TraceEvent
 from repro.sim.verifier import ensure_trace_ok, verify_trace
 
@@ -12,9 +18,13 @@ __all__ = [
     "DispatcherMachine",
     "EVENT_KINDS",
     "MachineResult",
+    "NetSimRun",
+    "NetSimulator",
     "Trace",
     "TraceEvent",
+    "WALK_POLICIES",
     "ensure_trace_ok",
     "run_schedule",
+    "simulate_net",
     "verify_trace",
 ]

@@ -8,7 +8,11 @@ Public surface:
 * :class:`CompiledNet` — frozen index-based view;
 * :class:`MarkingView` — name-addressed marking inspection;
 * :class:`State`, :class:`StateEngine`, :class:`FiringCandidate` — the
-  operational semantics (Definition 3.1, ``ET``/``FT``/``DLB``/``DUB``);
+  checked reference semantics (Definition 3.1,
+  ``ET``/``FT``/``DLB``/``DUB``);
+* :class:`FastState`, :class:`IncrementalEngine` — the O(degree)
+  incremental successor engine driving the search/reachability/
+  simulation hot paths;
 * :class:`TLTS`, :class:`Run`, :class:`Action` — labeled runs and the
   feasibility predicate (Definition 3.2);
 * :func:`explore`, :class:`ReachabilityGraph` — bounded state-space
@@ -29,6 +33,7 @@ from repro.tpn.analysis import (
     transition_invariants,
 )
 from repro.tpn.dot import net_to_dot, reachability_to_dot
+from repro.tpn.fastengine import FastState, IncrementalEngine
 from repro.tpn.interval import INF, TimeInterval
 from repro.tpn.marking import MarkingView
 from repro.tpn.net import (
@@ -79,8 +84,10 @@ __all__ = [
     "BehaviouralReport",
     "CompiledNet",
     "DISABLED",
+    "FastState",
     "FiringCandidate",
     "INF",
+    "IncrementalEngine",
     "MarkingView",
     "Place",
     "ROLE_ARRIVAL",

@@ -469,6 +469,17 @@ class CompiledNet:
         "tasks",
         "final_marking",
         "miss_places",
+        "pre_places",
+        "post_places",
+        "place_consumers",
+        "affected",
+        "conflict_free",
+        "miss_transitions",
+        "final_constraints",
+        "touches_miss",
+        "touches_final",
+        "immediate",
+        "post_conflicts",
     )
 
     def __init__(self, net: TimePetriNet):
@@ -534,6 +545,93 @@ class CompiledNet:
             for p in net.places
             if p.role == "deadline-miss"
         )
+        self.final_constraints: tuple[tuple[int, int], ...] = tuple(
+            (i, required)
+            for i, required in enumerate(self.final_marking)
+            if required is not None
+        )
+        self.miss_transitions: frozenset[int] = frozenset(
+            t
+            for t, role in enumerate(self.roles)
+            if role == ROLE_DEADLINE_MISS
+        )
+
+        # ---- sparse dependency structure for the incremental engine ----
+        # Place-indexed views of the flow relation and, per transition,
+        # the set of transitions whose enabledness can change when it
+        # fires.  These are what keep successor computation O(degree)
+        # instead of O(|T|·|P|) in the state-space hot path.
+        self.pre_places: tuple[frozenset[int], ...] = tuple(
+            frozenset(p for p, _w in row) for row in self.pre
+        )
+        self.post_places: tuple[frozenset[int], ...] = tuple(
+            frozenset(p for p, _w in row) for row in self.post
+        )
+        consumers: dict[int, list[int]] = {}
+        for t, places in enumerate(self.pre_places):
+            for p in places:
+                consumers.setdefault(p, []).append(t)
+        self.place_consumers: tuple[tuple[int, ...], ...] = tuple(
+            tuple(consumers.get(p, ())) for p in range(self.num_places)
+        )
+        # affected[t]: transitions (t itself included) whose enabledness
+        # or clock-reset status can differ after t fires.  Built from the
+        # places t touches: net-effect places (delta) cover marking
+        # changes; preset places additionally cover self-loops, whose
+        # transient token dip matters under intermediate-marking
+        # clock-reset semantics.
+        affected_rows: list[tuple[int, ...]] = []
+        for t in range(self.num_transitions):
+            touched = {p for p, _d in self.delta[t]}
+            touched.update(self.pre_places[t])
+            neighbours = {t}
+            for p in touched:
+                neighbours.update(consumers.get(p, ()))
+            affected_rows.append(tuple(sorted(neighbours)))
+        self.affected: tuple[tuple[int, ...], ...] = tuple(affected_rows)
+        # Transitions that can never conflict with anything, now or in
+        # the future: every input place is consumed by this transition
+        # only (used by the scheduler's partial-order reduction).
+        self.conflict_free: tuple[bool, ...] = tuple(
+            bool(places)
+            and all(len(consumers[p]) == 1 for p in places)
+            for places in self.pre_places
+        )
+        # Marking-predicate skip masks: a child state's deadline-miss /
+        # final-marking status can only differ from its parent's when
+        # the fired transition adds tokens to a miss place (resp.
+        # changes a constrained place), so the search re-evaluates the
+        # predicates only for these transitions.
+        miss_set = set(self.miss_places)
+        self.touches_miss: tuple[bool, ...] = tuple(
+            any(p in miss_set and d > 0 for p, d in self.delta[t])
+            for t in range(self.num_transitions)
+        )
+        constrained = {p for p, _req in self.final_constraints}
+        self.touches_final: tuple[bool, ...] = tuple(
+            any(p in constrained for p, _d in self.delta[t])
+            for t in range(self.num_transitions)
+        )
+        # Immediate ([0,0]) transitions: while one is enabled its clock
+        # is pinned to 0 (strong semantics forces q=0 firings), so any
+        # enabled immediate makes the global min-DUB ceiling exactly 0 —
+        # the engine skips the ceiling scan in that common case.
+        self.immediate: tuple[bool, ...] = tuple(
+            self.eft[t] == 0 and self.lft[t] == 0
+            for t in range(self.num_transitions)
+        )
+        # post_conflicts[t]: transitions (other than t) consuming from
+        # t's postset — the partial-order reduction's clock-commutation
+        # check reduces to one disjointness test against the enabled set.
+        self.post_conflicts: tuple[frozenset[int], ...] = tuple(
+            frozenset(
+                tk
+                for p in self.post_places[t]
+                for tk in consumers.get(p, ())
+                if tk != t
+            )
+            for t in range(self.num_transitions)
+        )
 
     @property
     def num_places(self) -> int:
@@ -545,8 +643,8 @@ class CompiledNet:
 
     def is_final(self, marking: tuple[int, ...]) -> bool:
         """Whether ``marking`` satisfies the final-marking constraint."""
-        for tokens, required in zip(marking, self.final_marking):
-            if required is not None and tokens != required:
+        for place, required in self.final_constraints:
+            if marking[place] != required:
                 return False
         return True
 

@@ -13,9 +13,9 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import SchedulingError
+from repro.tpn.fastengine import FastState, IncrementalEngine
 from repro.tpn.net import CompiledNet
 from repro.tpn.state import State
-from repro.tpn.tlts import TLTS
 
 
 @dataclass
@@ -78,18 +78,24 @@ def explore(
     """
     if strategy not in ("bfs", "dfs"):
         raise SchedulingError(f"unknown strategy {strategy!r}")
-    tlts = TLTS(net, reset_policy=reset_policy)
+    fast = IncrementalEngine(net, reset_policy=reset_policy)
     graph = ReachabilityGraph()
-    s0 = tlts.initial_state()
-    graph.states.append(s0)
-    graph.index[s0] = 0
+    fs0 = fast.initial()
+    graph.states.append(fs0.to_state())
+    graph.index[graph.states[0]] = 0
     graph.edges.append([])
-    frontier: deque[int] = deque([0])
+    # exploration runs on FastState (cached hashes, O(degree)
+    # successors); the public graph exposes the reference State view.
+    # Dedup is keyed by the plain (marking, clocks) key so states that
+    # left the frontier don't keep their derived-view tuples alive.
+    seen: dict[tuple, int] = {fs0.key(): 0}
+    frontier: deque[tuple[int, FastState]] = deque([(0, fs0)])
 
     while frontier:
-        i = frontier.pop() if strategy == "dfs" else frontier.popleft()
-        state = graph.states[i]
-        candidates = tlts.engine.fireable(state, priority_filter)
+        i, state = (
+            frontier.pop() if strategy == "dfs" else frontier.popleft()
+        )
+        candidates = fast.fireable(state, priority_filter)
         if not candidates:
             graph.deadlocks.append(i)
             continue
@@ -102,19 +108,20 @@ def explore(
             else:
                 delays = list(cand.delays())
             for q in delays:
-                succ = tlts.engine._fire_unchecked(
-                    state, cand.transition, q
-                )
-                j = graph.index.get(succ)
+                succ = fast.successor(state, cand.transition, q)
+                key = succ.key()
+                j = seen.get(key)
                 if j is None:
                     if len(graph.states) >= max_states:
                         graph.complete = False
                         continue
                     j = len(graph.states)
-                    graph.states.append(succ)
-                    graph.index[succ] = j
+                    seen[key] = j
+                    public = succ.to_state()
+                    graph.states.append(public)
+                    graph.index[public] = j
                     graph.edges.append([])
-                    frontier.append(j)
+                    frontier.append((j, succ))
                 graph.edges[i].append((cand.transition, q, j))
     return graph
 

@@ -90,11 +90,18 @@ class FiringCandidate:
 
 
 class StateEngine:
-    """Semantics engine for a compiled net.
+    """Reference semantics engine for a compiled net.
 
     The engine is stateless apart from the net and the configured
     clock-reset policy; all methods are pure functions of their inputs,
     which keeps the DFS scheduler free to memoise and backtrack.
+
+    This is the *checked reference* implementation of Definition 3.1:
+    every firing rescans all transition presets, O(|T|·|P|) per
+    expansion.  The search hot path uses the semantics-identical
+    :class:`repro.tpn.fastengine.IncrementalEngine`, which is
+    cross-validated against this engine by the randomized equivalence
+    suite.
     """
 
     def __init__(self, net: CompiledNet, reset_policy: str = "paper"):
@@ -172,7 +179,6 @@ class StateEngine:
         without forcing some transition to fire.
         """
         best = INF
-        eft = self.net.eft  # noqa: F841  (documents the relation)
         lft = self.net.lft
         for t, clock in enumerate(state.clocks):
             if clock == DISABLED or lft[t] == INF:

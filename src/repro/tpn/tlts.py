@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.errors import SchedulingError
+from repro.tpn.fastengine import FastState, IncrementalEngine
 from repro.tpn.net import CompiledNet
 from repro.tpn.state import State, StateEngine
 
@@ -79,21 +80,26 @@ class Run:
 class TLTS:
     """The timed labeled transition system of a compiled net.
 
-    Thin layer over :class:`StateEngine` adding run construction,
+    Thin layer over the successor engines adding run construction,
     successor enumeration under a delay policy, and the Definition-3.2
-    feasibility predicate used throughout the test-suite.
+    feasibility predicate used throughout the test-suite.  Successor
+    generation and replay run on the incremental O(degree) engine
+    (:class:`~repro.tpn.fastengine.IncrementalEngine`); the checked
+    :class:`StateEngine` stays available as ``engine`` for reference
+    semantics and explicit ``fire()`` validation.
     """
 
     def __init__(self, net: CompiledNet, reset_policy: str = "paper"):
         self.net = net
         self.engine = StateEngine(net, reset_policy=reset_policy)
+        self.fast = IncrementalEngine(net, reset_policy=reset_policy)
 
     def initial_state(self) -> State:
         return self.engine.initial_state()
 
     def successors(
         self,
-        state: State,
+        state: State | FastState,
         priority_filter: bool = True,
         earliest_only: bool = True,
     ) -> list[tuple[int, int, State]]:
@@ -103,8 +109,14 @@ class TLTS:
         earliest admissible delay ``q = DLB(t)``; otherwise the full
         integer firing domain is expanded (bounded domains only).
         """
+        fast = self.fast
+        fs = (
+            state
+            if isinstance(state, FastState)
+            else fast.lift(state)
+        )
         result: list[tuple[int, int, State]] = []
-        for cand in self.engine.fireable(state, priority_filter):
+        for cand in fast.fireable(fs, priority_filter):
             if earliest_only:
                 delays: Iterable[int] = (cand.dlb,)
             else:
@@ -114,7 +126,7 @@ class TLTS:
                     (
                         cand.transition,
                         q,
-                        self.engine._fire_unchecked(state, cand.transition, q),
+                        fast.successor(fs, cand.transition, q).to_state(),
                     )
                 )
         return result
@@ -141,15 +153,16 @@ class TLTS:
         are legal timed behaviours even when a lower-priority transition
         fires first.
         """
-        run = Run(states=[self.initial_state()])
+        fast = self.fast
+        fs = fast.initial()
+        run = Run(states=[fs.to_state()])
         now = 0
         for ref, q in firings:
             t = self._resolve(ref)
-            state = run.states[-1]
             candidates = {
                 c.transition: c
-                for c in self.engine.fireable(
-                    state, priority_filter=priority_filter
+                for c in fast.fireable(
+                    fs, priority_filter=priority_filter
                 )
             }
             if t not in candidates:
@@ -169,7 +182,8 @@ class TLTS:
                 )
             now += q
             run.actions.append(Action(t, q, now))
-            run.states.append(self.engine._fire_unchecked(state, t, q))
+            fs = fast.successor(fs, t, q)
+            run.states.append(fs.to_state())
         return run
 
     def is_feasible_schedule(

@@ -105,6 +105,37 @@ class TestExecuteJob:
         assert outcome.codegen_files and outcome.codegen_files > 0
         assert outcome.trace_violations == 0
 
+    def test_compiles_net_once_across_stages(self, monkeypatch):
+        """Schedule, codegen and simulate stages share one compiled
+        net: the job must not re-freeze the net between stages."""
+        from repro.tpn.net import TimePetriNet
+
+        calls = {"n": 0}
+        original = TimePetriNet.compile
+
+        def counting_compile(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(TimePetriNet, "compile", counting_compile)
+        outcome = execute_job(
+            BatchJob(
+                spec=fig3_precedence(),
+                codegen_target="hostsim",
+                simulate=True,
+            )
+        )
+        assert outcome.status == STATUS_FEASIBLE
+        assert calls["n"] == 1
+
+    def test_rows_exclude_wall_clock_throughput(self):
+        """states_per_second is wall-clock-derived and must never leak
+        into the deterministic JSONL row."""
+        outcome = execute_job(BatchJob(spec=fig3_precedence()))
+        row = outcome.row()
+        assert "states_per_second" not in row["search"]
+        assert "elapsed_seconds" not in row["search"]
+
     def test_effective_config_folds_timeout(self):
         job = BatchJob(
             spec=fig3_precedence(),

@@ -105,6 +105,30 @@ class TestSchedule:
         assert main(["schedule", small_spec_file, "--gantt"]) == 0
         assert "Gantt" in capsys.readouterr().out
 
+    def test_profile_flag(self, capsys, small_spec_file):
+        assert main(["schedule", small_spec_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "search profile:" in out
+        assert "states visited" in out
+        assert "states generated" in out
+        assert "deadline prunes" in out
+        assert "reductions" in out
+        assert "throughput" in out
+
+    def test_engine_flag_reference(self, capsys, small_spec_file):
+        assert (
+            main(
+                [
+                    "schedule",
+                    small_spec_file,
+                    "--engine",
+                    "reference",
+                ]
+            )
+            == 0
+        )
+        assert "feasible" in capsys.readouterr().out
+
     def test_infeasible_exit_code(self, tmp_path, capsys):
         from repro.spec import SpecBuilder
 

@@ -1,0 +1,329 @@
+"""Equivalence suite: incremental engine vs reference semantics.
+
+The incremental O(degree) engine (:mod:`repro.tpn.fastengine`) must be
+observationally identical to the checked reference
+:class:`~repro.tpn.state.StateEngine` — same successors, same fireable
+sets and firing domains, same visited-state counts and feasibility
+verdicts — across both clock-reset policies and all three delay modes.
+These tests enforce that contract on randomized nets and task sets, and
+additionally check the internal derived views (enabled set, immediate
+set, epoch-shifted timer queues) against their from-scratch definitions
+at every reached state.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks import compose
+from repro.scheduler import SchedulerConfig, PreRuntimeScheduler
+from repro.spec import paper_examples
+from repro.tpn import (
+    DISABLED,
+    INF,
+    IncrementalEngine,
+    StateEngine,
+    TimeInterval,
+    TimePetriNet,
+)
+from repro.workloads import random_task_set
+
+
+@st.composite
+def bounded_nets(draw):
+    """Random small nets whose transitions always consume something."""
+    n_places = draw(st.integers(min_value=2, max_value=5))
+    n_transitions = draw(st.integers(min_value=1, max_value=5))
+    net = TimePetriNet("eq")
+    for i in range(n_places):
+        net.add_place(f"p{i}", marking=draw(st.integers(0, 2)))
+    for j in range(n_transitions):
+        eft = draw(st.integers(0, 3))
+        lft = eft + draw(st.integers(0, 3))
+        net.add_transition(
+            f"t{j}",
+            TimeInterval(eft, lft),
+            priority=draw(st.integers(0, 2)),
+        )
+        inputs = draw(
+            st.lists(
+                st.integers(0, n_places - 1),
+                min_size=1,
+                max_size=2,
+                unique=True,
+            )
+        )
+        outputs = draw(
+            st.lists(
+                st.integers(0, n_places - 1),
+                min_size=0,
+                max_size=2,
+                unique=True,
+            )
+        )
+        for p in inputs:
+            net.add_arc(f"p{p}", f"t{j}", draw(st.integers(1, 2)))
+        for p in outputs:
+            net.add_arc(f"t{j}", f"p{p}", draw(st.integers(1, 2)))
+    return net
+
+
+def _walk_states(compiled, reset_policy, max_states=80):
+    """BFS over the discrete TLTS using the *reference* engine only."""
+    engine = StateEngine(compiled, reset_policy=reset_policy)
+    s0 = engine.initial_state()
+    frontier = [s0]
+    seen = {s0}
+    while frontier:
+        state = frontier.pop()
+        yield state
+        for cand in engine.fireable(state, priority_filter=False):
+            if cand.dub == INF:
+                delays = [cand.dlb]
+            else:
+                delays = list(cand.delays())[:3]
+            for q in delays:
+                succ = engine._fire_unchecked(state, cand.transition, q)
+                if succ not in seen and len(seen) < max_states:
+                    seen.add(succ)
+                    frontier.append(succ)
+
+
+def _assert_views_consistent(fs, compiled):
+    """Derived views must equal their from-scratch definitions."""
+    enabled = tuple(
+        t for t, c in enumerate(fs.clocks) if c != DISABLED
+    )
+    assert fs.enabled == enabled
+    imms = tuple(t for t in enabled if compiled.immediate[t])
+    assert fs.imms == imms
+    shift = fs.shift
+    tlb = sorted(
+        (compiled.eft[t] - fs.clocks[t] + shift, t)
+        for t in enabled
+        if not compiled.immediate[t]
+    )
+    assert list(fs.tlb) == tlb
+    tub = sorted(
+        (compiled.lft[t] - fs.clocks[t] + shift, t)
+        for t in enabled
+        if not compiled.immediate[t] and compiled.lft[t] != INF
+    )
+    assert list(fs.tub) == tub
+
+
+class TestEngineEquivalence:
+    @given(bounded_nets(), st.sampled_from(["paper", "intermediate"]))
+    @settings(max_examples=40, deadline=None)
+    def test_successors_and_fireable_agree(self, net, policy):
+        """On every reachable state the two engines agree on FT(s),
+        the firing domains, and every successor state."""
+        compiled = net.compile()
+        reference = StateEngine(compiled, reset_policy=policy)
+        fast = IncrementalEngine(compiled, reset_policy=policy)
+        for state in _walk_states(compiled, policy):
+            fs = fast.lift(state)
+            _assert_views_consistent(fs, compiled)
+            assert fast.min_dub(fs) == reference.min_dub(state)
+            ref_cands = reference.fireable(state, priority_filter=False)
+            fast_cands = fast.fireable(fs, priority_filter=False)
+            assert [
+                (c.transition, c.dlb, c.dub) for c in ref_cands
+            ] == [(c.transition, c.dlb, c.dub) for c in fast_cands]
+            for cand in ref_cands:
+                delays = (
+                    [cand.dlb]
+                    if cand.dub == INF
+                    else list(cand.delays())[:3]
+                )
+                for q in delays:
+                    ref_succ = reference._fire_unchecked(
+                        state, cand.transition, q
+                    )
+                    fast_succ = fast.successor(fs, cand.transition, q)
+                    assert fast_succ.marking == ref_succ.marking
+                    assert fast_succ.clocks == ref_succ.clocks
+                    _assert_views_consistent(fast_succ, compiled)
+
+    @given(bounded_nets(), st.sampled_from(["paper", "intermediate"]))
+    @settings(max_examples=25, deadline=None)
+    def test_chained_successors_keep_views_consistent(
+        self, net, policy
+    ):
+        """Deep random runs: the incrementally maintained views never
+        drift from their definitions (surgery vs full rescan)."""
+        compiled = net.compile()
+        fast = IncrementalEngine(compiled, reset_policy=policy)
+        rng = random.Random(17)
+        fs = fast.initial()
+        for _ in range(40):
+            cands = fast.fireable(fs, priority_filter=False)
+            if not cands:
+                break
+            cand = rng.choice(cands)
+            if cand.dub == INF:
+                q = cand.dlb
+            else:
+                q = rng.randint(cand.dlb, int(cand.dub))
+            fs = fast.successor(fs, cand.transition, q)
+            _assert_views_consistent(fs, compiled)
+
+    def test_initial_matches_reference(self, simple_net):
+        compiled = simple_net.compile()
+        fast = IncrementalEngine(compiled)
+        reference = StateEngine(compiled)
+        fs = fast.initial()
+        s0 = reference.initial_state()
+        assert fs.marking == s0.marking
+        assert fs.clocks == s0.clocks
+        assert fast.lift(s0) == fs
+        assert hash(fast.lift(s0)) == hash(fs)
+
+
+SEARCH_SEEDS = (1, 2, 3, 4, 5, 6)
+
+
+class TestSchedulerEquivalence:
+    """The DFS over the incremental engine is the same search."""
+
+    @pytest.mark.parametrize("seed", SEARCH_SEEDS)
+    @pytest.mark.parametrize(
+        "reset_policy", ["paper", "intermediate"]
+    )
+    def test_random_task_sets_all_reset_policies(
+        self, seed, reset_policy
+    ):
+        spec = random_task_set(
+            3 + seed % 3,
+            total_utilization=0.35 + 0.1 * (seed % 2),
+            seed=seed,
+            preemptive_fraction=0.5,
+            period_grid=(10, 20, 40),
+        )
+        net = compose(spec).compiled()
+        config = SchedulerConfig(
+            reset_policy=reset_policy, max_states=30_000
+        )
+        self._assert_same_search(net, config)
+
+    @pytest.mark.parametrize(
+        "delay_mode", ["earliest", "extremes", "full"]
+    )
+    def test_all_delay_modes(self, delay_mode):
+        spec = random_task_set(
+            3, total_utilization=0.4, seed=9, period_grid=(8, 16)
+        )
+        net = compose(spec).compiled()
+        config = SchedulerConfig(
+            delay_mode=delay_mode, max_states=30_000
+        )
+        self._assert_same_search(net, config)
+
+    @pytest.mark.parametrize("priority_mode", ["ordered", "strict"])
+    @pytest.mark.parametrize("partial_order", [True, False])
+    def test_priority_and_reduction_modes(
+        self, priority_mode, partial_order
+    ):
+        spec = random_task_set(
+            4, total_utilization=0.45, seed=21, period_grid=(10, 20)
+        )
+        net = compose(spec).compiled()
+        config = SchedulerConfig(
+            priority_mode=priority_mode,
+            partial_order=partial_order,
+            max_states=30_000,
+        )
+        self._assert_same_search(net, config)
+
+    @pytest.mark.parametrize(
+        "example", ["mine-pump", "fig3", "fig4", "fig8"]
+    )
+    def test_paper_examples(self, example):
+        net = compose(paper_examples()[example]).compiled()
+        self._assert_same_search(net, SchedulerConfig())
+
+    def test_infeasible_sets_agree(self):
+        spec = random_task_set(
+            4, total_utilization=0.95, seed=3, period_grid=(5, 10)
+        )
+        net = compose(spec).compiled()
+        config = SchedulerConfig(max_states=20_000)
+        self._assert_same_search(net, config)
+
+    @staticmethod
+    def _assert_same_search(net, config):
+        ref = PreRuntimeScheduler(
+            net, config, engine="reference"
+        ).search()
+        fast = PreRuntimeScheduler(
+            net, config, engine="incremental"
+        ).search()
+        assert fast.feasible == ref.feasible
+        assert fast.exhausted == ref.exhausted
+        assert fast.firing_schedule == ref.firing_schedule
+        ref_stats = {
+            k: v
+            for k, v in ref.stats.as_dict().items()
+            if k not in ("elapsed_seconds", "states_per_second")
+        }
+        fast_stats = {
+            k: v
+            for k, v in fast.stats.as_dict().items()
+            if k not in ("elapsed_seconds", "states_per_second")
+        }
+        assert fast_stats == ref_stats
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self, simple_net):
+        from repro.errors import SchedulingError
+
+        with pytest.raises(SchedulingError, match="unknown engine"):
+            PreRuntimeScheduler(
+                simple_net.compile(), engine="warp-drive"
+            )
+
+    def test_search_helper_threads_engine(self, simple_net):
+        from repro.scheduler import search
+
+        compiled = simple_net.compile()
+        fast = search(compiled, engine="incremental")
+        ref = search(compiled, engine="reference")
+        assert fast.firing_schedule == ref.firing_schedule
+
+
+class TestCompiledNetAdjacency:
+    """The compile-time sparse structure is sound and complete."""
+
+    @given(bounded_nets())
+    @settings(max_examples=30, deadline=None)
+    def test_affected_covers_enabledness_changes(self, net):
+        """If firing t can change tk's enabledness, tk ∈ affected[t]."""
+        compiled = net.compile()
+        for t in range(compiled.num_transitions):
+            touched = {p for p, _d in compiled.delta[t]}
+            touched |= compiled.pre_places[t]
+            for tk in range(compiled.num_transitions):
+                if compiled.pre_places[tk] & touched:
+                    assert tk in compiled.affected[t]
+            assert t in compiled.affected[t]
+
+    def test_immediate_and_miss_masks(self, simple_net):
+        compiled = simple_net.compile()
+        for t in range(compiled.num_transitions):
+            interval = compiled.interval_of(t)
+            assert compiled.immediate[t] == (
+                interval.eft == 0 and interval.lft == 0
+            )
+        assert compiled.miss_transitions == frozenset()
+
+    def test_touch_masks_are_sound(self, simple_net):
+        """touches_final[t] false ⇒ firing t never flips is_final."""
+        compiled = simple_net.compile()
+        constrained = {p for p, _r in compiled.final_constraints}
+        for t in range(compiled.num_transitions):
+            delta_places = {p for p, _d in compiled.delta[t]}
+            if not compiled.touches_final[t]:
+                assert not (delta_places & constrained)
