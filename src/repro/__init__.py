@@ -62,9 +62,11 @@ from repro.errors import (
     TraceVerificationError,
 )
 from repro.scheduler import (
+    ParallelScheduler,
     SchedulerConfig,
     SchedulerResult,
     TaskLevelSchedule,
+    default_portfolio,
     find_schedule,
     require_schedule,
     schedule_from_result,
@@ -90,8 +92,10 @@ from repro.spec import (
 from repro.tpn import TimeInterval, TimePetriNet
 from repro.workloads import (
     campaign_task_sets,
+    hard_portfolio_task_set,
     random_task_set,
     random_task_set_with_relations,
+    time_scaled_task_set,
     uunifast,
 )
 
@@ -118,6 +122,7 @@ __all__ = [
     "NetSimulator",
     "PNMLError",
     "ResultCache",
+    "ParallelScheduler",
     "SchedulerConfig",
     "SchedulerResult",
     "SchedulingError",
@@ -132,15 +137,18 @@ __all__ = [
     "TraceVerificationError",
     "__version__",
     "campaign_task_sets",
+    "hard_portfolio_task_set",
     "compose",
     "fig3_precedence",
     "fig4_exclusion",
     "fig8_preemptive",
+    "default_portfolio",
     "find_schedule",
     "generate_project",
     "mine_pump",
     "random_task_set",
     "random_task_set_with_relations",
+    "time_scaled_task_set",
     "require_schedule",
     "run_campaign",
     "run_schedule",

@@ -45,7 +45,8 @@ from repro.scheduler.config import SchedulerConfig
 from repro.spec.model import EzRTSpec
 
 #: Bump when the fingerprint layout or outcome payload changes shape.
-CACHE_FORMAT_VERSION = 1
+#: v2: scheduler section gained the search-policy and parallel knobs.
+CACHE_FORMAT_VERSION = 2
 
 
 def spec_fingerprint(spec: EzRTSpec) -> dict:
@@ -108,6 +109,11 @@ def job_fingerprint(
             "reset_policy": config.reset_policy,
             "max_states": config.max_states,
             "max_seconds": config.max_seconds,
+            "policy": config.policy,
+            "policy_seed": config.policy_seed,
+            "parallel": config.parallel,
+            "parallel_mode": config.parallel_mode,
+            "portfolio": list(config.portfolio),
         },
         "stages": {
             "codegen": codegen_target,

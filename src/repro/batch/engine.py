@@ -1,5 +1,20 @@
 """The batch synthesis engine: fan many jobs out over a process pool.
 
+**Overview for new contributors.**  ``repro.batch`` is the
+throughput layer of the repository: where ``repro.scheduler``
+answers "is this one model schedulable?", this package answers it for
+*campaigns* of hundreds of models at once.  The division of labour is:
+``job.py`` defines one unit of work (spec → compose → search →
+optional codegen/simulate) and its structured outcome, ``cache.py``
+fingerprints jobs so solved points are never recomputed, this module
+schedules jobs over worker processes, and ``campaign.py`` sweeps
+parameter grids into JSONL result files.  Batch-level parallelism
+composes with the single-model parallel search
+(:mod:`repro.scheduler.parallel`): a job whose scheduler config sets
+``parallel >= 2`` spawns its own intra-job workers, and the engine's
+``cores`` budget shrinks the pool so jobs × workers stays within the
+machine.
+
 ``BatchEngine.run`` takes specifications (or prepared
 :class:`~repro.batch.job.BatchJob` objects), resolves cache hits in the
 parent, ships the misses to a ``ProcessPoolExecutor`` (or runs them
@@ -168,6 +183,13 @@ class BatchEngine:
         cache: a :class:`ResultCache`; ``None`` disables caching.
         codegen_target / simulate / store_schedules: defaults for the
             optional downstream stages of jobs built from bare specs.
+        cores: total core budget shared between the pool and intra-job
+            parallel search.  When the scheduler config opts into
+            ``parallel >= 2`` worker processes *per job*, the pool
+            width shrinks to ``cores // parallel`` (at least 1) so the
+            machine runs ~``cores`` busy processes, not
+            ``jobs × workers``.  ``None`` leaves ``max_workers``
+            untouched.
     """
 
     def __init__(
@@ -181,12 +203,21 @@ class BatchEngine:
         codegen_target: str | None = None,
         simulate: bool = False,
         store_schedules: bool = False,
+        cores: int | None = None,
     ):
         self.composer_options = composer_options or ComposerOptions()
         self.scheduler_config = scheduler_config or SchedulerConfig()
         self.max_workers = (
             default_workers() if max_workers is None else max_workers
         )
+        self.cores = cores
+        if cores is not None:
+            if cores < 1:
+                raise ValueError("cores budget must be >= 1")
+            intra = max(1, self.scheduler_config.parallel)
+            self.max_workers = max(
+                1, min(self.max_workers, cores // intra)
+            )
         self.job_timeout = job_timeout
         self.cache = cache
         self.codegen_target = codegen_target

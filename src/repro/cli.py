@@ -6,7 +6,10 @@ Subcommands mirror the stages of the ezRealtime architecture:
 * ``ezrt compile spec.xml -o model.pnml`` — translate the spec to its
   time Petri net and export PNML;
 * ``ezrt schedule spec.xml`` — synthesise a pre-runtime schedule and
-  print the Section-5 style report;
+  print the Section-5 style report; ``--parallel N`` races search
+  policies (or partitions the space, ``--parallel-mode worksteal``)
+  across worker processes, ``--policy``/``--engine``/``--profile``
+  control and expose the serial search;
 * ``ezrt codegen spec.xml -o out/ --target hostsim`` — full synthesis:
   schedule + generated C project;
 * ``ezrt simulate spec.xml`` — execute the synthesised table on the
@@ -62,11 +65,21 @@ def _composer_options(args) -> ComposerOptions:
 
 
 def _scheduler_config(args) -> SchedulerConfig:
+    portfolio = tuple(
+        entry.strip()
+        for entry in (args.portfolio or "").split(",")
+        if entry.strip()
+    )
     return SchedulerConfig(
         priority_mode=args.priority_mode,
         delay_mode=args.delay_mode,
         partial_order=not args.no_partial_order,
         max_states=args.max_states,
+        policy=args.policy,
+        policy_seed=args.policy_seed,
+        parallel=args.parallel,
+        parallel_mode=args.parallel_mode,
+        portfolio=portfolio,
     )
 
 
@@ -108,6 +121,52 @@ def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=2_000_000,
         help="state budget for the search",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=("earliest", "latest", "min-laxity", "random"),
+        default="earliest",
+        help=(
+            "candidate ordering of a serial search (default: "
+            "earliest, the work-conserving order); orderings change "
+            "search speed, never the verdict"
+        ),
+    )
+    parser.add_argument(
+        "--policy-seed",
+        type=int,
+        default=0,
+        help="shuffle seed for --policy random (default: 0)",
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "search one model with N worker processes (0/1 = serial); "
+            "the mode is picked by --parallel-mode"
+        ),
+    )
+    parser.add_argument(
+        "--parallel-mode",
+        choices=("portfolio", "worksteal"),
+        default="portfolio",
+        help=(
+            "portfolio races policies, first definitive verdict wins; "
+            "worksteal partitions the root frontier into subtree jobs "
+            "with a shared visited filter (default: portfolio)"
+        ),
+    )
+    parser.add_argument(
+        "--portfolio",
+        default=None,
+        metavar="P1,P2,...",
+        help=(
+            "comma-separated policies to race (e.g. "
+            "earliest,random:1,min-laxity,latest); default: a "
+            "built-in rotation sized to --parallel"
+        ),
     )
 
 
@@ -256,6 +315,7 @@ def _cmd_batch(args) -> int:
         cache=cache,
         codegen_target=args.target,
         simulate=args.simulate,
+        cores=args.cores,
     )
     jobs = [
         engine.make_job(_load_spec(ref), meta={"source": ref})
@@ -402,6 +462,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes (default: CPU count; 1 = in-process)",
+    )
+    p.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        help=(
+            "total core budget shared between the job pool and "
+            "intra-job --parallel workers: the pool width shrinks to "
+            "cores // parallel so jobs x workers stays within budget"
+        ),
     )
     p.add_argument(
         "--timeout",

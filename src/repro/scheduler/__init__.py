@@ -11,6 +11,7 @@ from repro.scheduler.baselines import (
 )
 from repro.scheduler.config import (
     DELAY_MODES,
+    PARALLEL_MODES,
     PRIORITY_MODES,
     SchedulerConfig,
 )
@@ -19,6 +20,17 @@ from repro.scheduler.dfs import (
     find_schedule,
     require_schedule,
     search,
+)
+from repro.scheduler.parallel import (
+    ParallelScheduler,
+    SharedVisitedFilter,
+    split_frontier,
+    validate_with_reference,
+)
+from repro.scheduler.policies import (
+    POLICIES,
+    default_portfolio,
+    parse_policy,
 )
 from repro.scheduler.result import SchedulerResult, SearchStats
 from repro.scheduler.schedule import (
@@ -37,6 +49,9 @@ __all__ = [
     "DELAY_MODES",
     "DeadlineMiss",
     "ExecutionSegment",
+    "PARALLEL_MODES",
+    "POLICIES",
+    "ParallelScheduler",
     "PRIORITY_MODES",
     "PreRuntimeScheduler",
     "RUNTIME_POLICIES",
@@ -45,16 +60,21 @@ __all__ = [
     "SchedulerConfig",
     "SchedulerResult",
     "SearchStats",
+    "SharedVisitedFilter",
     "TaskLevelSchedule",
     "build_schedule_items",
+    "default_portfolio",
     "exclusion_blocking_pair",
     "extract_schedule",
     "find_schedule",
     "mok_trap",
+    "parse_policy",
     "require_schedule",
     "rm_overload_pair",
     "schedule_from_result",
     "search",
     "simulate_runtime",
+    "split_frontier",
     "validate_schedule",
+    "validate_with_reference",
 ]

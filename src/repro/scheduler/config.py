@@ -21,18 +21,29 @@ the ablation benches sweep:
   branching;
 * ``reset_policy`` — clock-reset semantics (see
   :mod:`repro.tpn.state`);
-* resource limits (``max_states``, ``max_seconds``).
+* resource limits (``max_states``, ``max_seconds``);
+* ``policy`` — the candidate *ordering* used by a serial search (see
+  :mod:`repro.scheduler.policies`); orderings never change the verdict,
+  only how fast a feasible schedule is found;
+* the parallel knobs — ``parallel`` (worker count; ``0``/``1`` keep
+  the search serial), ``parallel_mode`` (``"portfolio"`` races
+  independent policies and the first definitive verdict wins;
+  ``"worksteal"`` splits the root frontier into subtree jobs that
+  workers drain against a shared visited filter) and ``portfolio``
+  (explicit policy list for the race; empty picks the default
+  rotation of :func:`repro.scheduler.policies.default_portfolio`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import SchedulingError
 from repro.tpn.state import RESET_POLICIES
 
 PRIORITY_MODES = ("ordered", "strict")
 DELAY_MODES = ("earliest", "extremes", "full")
+PARALLEL_MODES = ("portfolio", "worksteal")
 
 
 @dataclass
@@ -45,6 +56,11 @@ class SchedulerConfig:
     reset_policy: str = "paper"
     max_states: int = 2_000_000
     max_seconds: float | None = None
+    policy: str = "earliest"
+    policy_seed: int = 0
+    parallel: int = 0
+    parallel_mode: str = "portfolio"
+    portfolio: tuple[str, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if self.priority_mode not in PRIORITY_MODES:
@@ -66,3 +82,24 @@ class SchedulerConfig:
             raise SchedulingError("max_states must be positive")
         if self.max_seconds is not None and self.max_seconds <= 0:
             raise SchedulingError("max_seconds must be positive")
+        # deferred import: policies imports nothing from this module,
+        # but keeping config importable first avoids a cycle with dfs
+        from repro.scheduler.policies import POLICIES, parse_policy
+
+        if self.policy not in POLICIES:
+            raise SchedulingError(
+                f"unknown search policy {self.policy!r}; "
+                f"expected one of {POLICIES}"
+            )
+        if self.parallel < 0:
+            raise SchedulingError(
+                "parallel must be >= 0 (0/1 mean a serial search)"
+            )
+        if self.parallel_mode not in PARALLEL_MODES:
+            raise SchedulingError(
+                f"unknown parallel mode {self.parallel_mode!r}; "
+                f"expected one of {PARALLEL_MODES}"
+            )
+        self.portfolio = tuple(self.portfolio)
+        for entry in self.portfolio:
+            parse_policy(entry)  # raises on unknown names/bad seeds

@@ -1,5 +1,19 @@
 """Pre-runtime schedule synthesis by depth-first search (Section 4.4.1).
 
+**Overview for new contributors.**  This module is the heart of the
+synthesis pipeline: it takes the compiled time Petri net produced by
+the block composer and searches its timed state space for a firing
+sequence that reaches the desired final marking — that sequence *is*
+the pre-runtime schedule the code generator turns into a C table.
+Everything else in ``scheduler/`` supports this search:
+``config.py`` holds the knobs, ``result.py`` the outcome/statistics
+containers, ``policies.py`` the alternative candidate orderings, and
+``parallel.py`` races or partitions this search across worker
+processes.  Start reading at :meth:`PreRuntimeScheduler._search_fast`
+(the production loop) with :meth:`_candidates_fast` (how one state's
+successor choices are enumerated); ``_search_reference`` is the same
+algorithm kept deliberately naive as the measured baseline.
+
 The algorithm explores the timed labeled transition system derived from
 the composed TPN, looking for a firing sequence that reaches the desired
 final marking ``M_F`` — by Definition 3.2 such a sequence *is* a
@@ -46,6 +60,7 @@ import time
 from repro.errors import InfeasibleScheduleError, SchedulingError
 from repro.blocks.composer import ComposedModel
 from repro.scheduler.config import SchedulerConfig
+from repro.scheduler.policies import make_reorder
 from repro.scheduler.result import SchedulerResult, SearchStats
 from repro.tpn.fastengine import FastState, IncrementalEngine
 from repro.tpn.interval import INF
@@ -111,6 +126,21 @@ class PreRuntimeScheduler:
         self._lft = net.lft
         self._priority = net.priority
         self._miss = net.miss_transitions
+        self._reorder = make_reorder(
+            self.config.policy, net, self.config.policy_seed
+        )
+        # Injection points for the parallel scheduler's workers (all
+        # no-ops for a plain serial search):
+        #: cooperative callback, polled every 1024 expansions with the
+        #: live counters; returning True aborts the search (used for
+        #: first-win cancellation and shared state budgets).
+        self.tick = None
+        #: cross-process visited filter with an ``add(hash) -> bool``
+        #: protocol (False when the hash was already present); states
+        #: another worker claimed are skipped like local revisits.
+        self.shared_filter = None
+        self._root: FastState | None = None
+        self._root_now = 0
         if not net.final_constraints:
             raise SchedulingError(
                 "net has no final marking; set one (the join block does "
@@ -124,6 +154,28 @@ class PreRuntimeScheduler:
             return self._search_fast()
         return self._search_reference()
 
+    def search_from(self, root: FastState, now: int) -> SchedulerResult:
+        """Run the DFS from a subtree root instead of the initial state.
+
+        Used by the work-stealing mode: ``root`` is a frontier state
+        exported by :func:`repro.scheduler.parallel.split_frontier` and
+        ``now`` the absolute time its prefix ends at, so the returned
+        ``firing_schedule`` carries absolute times that concatenate
+        directly onto the prefix.  Incremental engine only (the root is
+        a :class:`FastState`).
+        """
+        if self.engine_mode != "incremental":
+            raise SchedulingError(
+                "subtree search requires the incremental engine"
+            )
+        self._root = root
+        self._root_now = now
+        try:
+            return self._search_fast()
+        finally:
+            self._root = None
+            self._root_now = 0
+
     def _search_fast(self) -> SchedulerResult:
         """DFS on the incremental engine (the production hot path)."""
         config = self.config
@@ -136,9 +188,17 @@ class PreRuntimeScheduler:
             else started + config.max_seconds
         )
 
-        s0 = self.fast.initial()
+        root = self._root
+        s0 = self.fast.initial() if root is None else root
+        now0 = self._root_now
         successor = self.fast.successor
         candidates_of = self._candidates_fast
+        reorder = self._reorder
+        if reorder is not None:
+            base_candidates = candidates_of
+
+            def candidates_of(state, stats):
+                return reorder(base_candidates(state, stats), state)
 
         if net.has_missed_deadline(s0.marking):
             raise SchedulingError(
@@ -154,7 +214,7 @@ class PreRuntimeScheduler:
             )
 
         stack: list[_Frame] = [
-            _Frame(s0, 0, candidates_of(s0, stats))
+            _Frame(s0, now0, candidates_of(s0, stats))
         ]
         exhausted = False
 
@@ -169,6 +229,10 @@ class PreRuntimeScheduler:
         max_states = config.max_states
         monotonic = time.monotonic
         visited_add = visited.add
+        tick = self.tick
+        shared = self.shared_filter
+        shared_add = None if shared is None else shared.add
+        polled = deadline is not None or tick is not None
         n_visited = 1
         n_generated = 0
         n_revisits = 0
@@ -189,13 +253,19 @@ class PreRuntimeScheduler:
                 transition, delay = candidates[index]
 
                 n_generated += 1
-                if (
-                    deadline is not None
-                    and not n_generated & _TIME_CHECK_MASK
-                    and monotonic() > deadline
-                ):
-                    exhausted = True
-                    break
+                if polled and not n_generated & _TIME_CHECK_MASK:
+                    if deadline is not None and monotonic() > deadline:
+                        exhausted = True
+                        break
+                    if tick is not None and tick(
+                        n_visited,
+                        n_generated,
+                        n_revisits,
+                        n_prunes,
+                        n_backtracks,
+                    ):
+                        exhausted = True
+                        break
 
                 child = successor(frame.state, transition, delay)
                 if touches_miss[transition] and has_missed(
@@ -204,6 +274,13 @@ class PreRuntimeScheduler:
                     n_prunes += 1
                     continue
                 if child in visited:
+                    n_revisits += 1
+                    continue
+                if shared_add is not None and not shared_add(
+                    child._hash
+                ):
+                    # another worker already claimed (and will fully
+                    # explore) this state
                     n_revisits += 1
                     continue
                 visited_add(child)
@@ -295,9 +372,20 @@ class PreRuntimeScheduler:
                 feasible=True, stats=stats, config=config
             )
 
+        candidates_of = self._candidates_ref
+        reorder = self._reorder
+        if reorder is not None:
+            base_candidates = candidates_of
+
+            def candidates_of(state, stats):
+                return reorder(base_candidates(state, stats), state)
+
+        tick = self.tick
+        polled = deadline is not None or tick is not None
+
         # Frame: [state, abs_time, candidates, next_index, action]
         stack: list[list] = [
-            [s0, 0, self._candidates_ref(s0, stats), 0, None]
+            [s0, 0, candidates_of(s0, stats), 0, None]
         ]
         exhausted = False
 
@@ -318,13 +406,19 @@ class PreRuntimeScheduler:
             transition, delay = candidates[index]
 
             stats.states_generated += 1
-            if (
-                deadline is not None
-                and not stats.states_generated & _TIME_CHECK_MASK
-                and time.monotonic() > deadline
-            ):
-                exhausted = True
-                break
+            if polled and not stats.states_generated & _TIME_CHECK_MASK:
+                if deadline is not None and time.monotonic() > deadline:
+                    exhausted = True
+                    break
+                if tick is not None and tick(
+                    stats.states_visited,
+                    stats.states_generated,
+                    stats.revisits_skipped,
+                    stats.deadline_prunes,
+                    stats.backtracks,
+                ):
+                    exhausted = True
+                    break
 
             child = engine._fire_unchecked(state, transition, delay)
             if net.has_missed_deadline(child.marking):
@@ -369,7 +463,7 @@ class PreRuntimeScheduler:
                 [
                     child,
                     now + delay,
-                    self._candidates_ref(child, stats),
+                    candidates_of(child, stats),
                     0,
                     action,
                 ]
@@ -653,7 +747,19 @@ def search(
     config: SchedulerConfig | None = None,
     engine: str = "incremental",
 ) -> SchedulerResult:
-    """Synthesise a schedule for a compiled net."""
+    """Synthesise a schedule for a compiled net.
+
+    Dispatches on ``config.parallel``: ``0``/``1`` run the serial DFS
+    in-process, ``>= 2`` hand the net to the
+    :class:`~repro.scheduler.parallel.ParallelScheduler` (portfolio
+    racing or work-stealing subtree search across worker processes).
+    """
+    config = config or SchedulerConfig()
+    if config.parallel >= 2:
+        # deferred import: parallel imports this module for its workers
+        from repro.scheduler.parallel import ParallelScheduler
+
+        return ParallelScheduler(net, config, engine=engine).search()
     return PreRuntimeScheduler(net, config, engine=engine).search()
 
 

@@ -1,0 +1,866 @@
+"""Parallel pre-runtime search: portfolio racing and work stealing.
+
+**Overview for new contributors.**  ``repro.batch`` already
+parallelises *across* models (one process per specification); this
+module parallelises *within* one hard model, the ROADMAP's "a single
+hard model should also scale" item.  Two orthogonal strategies share
+the same worker plumbing:
+
+* **Portfolio racing** (``parallel_mode="portfolio"``) — every worker
+  runs a complete, independent DFS over the same state space, each
+  with a different candidate ordering from
+  :mod:`repro.scheduler.policies` (the serial default, latest-first,
+  min-laxity, seeded-random with geometric restarts).  Orderings never
+  change the verdict, only the time to reach it, and combinatorial
+  search times are heavy-tailed — so the *first* definitive verdict
+  wins the race and cancels the rest.  This wins even on a single
+  core: a 4-way race time-shared on one CPU still finishes ~N/4×
+  faster whenever some policy needs N× fewer states than the default.
+* **Work stealing** (``parallel_mode="worksteal"``) — one search is
+  partitioned instead of replicated: the parent expands a breadth-first
+  prefix of the space (:func:`split_frontier`), exports each frontier
+  state as a picklable :class:`~repro.tpn.fastengine.SubtreeJob`, and
+  workers drain the job queue, searching subtrees against a
+  **shared visited filter** (:class:`SharedVisitedFilter`, a
+  hash-compacted open-addressing table in multiprocessing shared
+  memory over the ``FastState`` precomputed hashes).  A state claimed
+  by one worker is skipped by all others, so the union of the subtree
+  searches covers the serial search space without re-exploration; with
+  real cores the exhaustive (infeasible) case scales with the worker
+  count.
+
+Determinism contract (both modes):
+
+* the returned *verdict* (feasible / infeasible) matches the serial
+  search on the same configuration — orderings and partitions change
+  which schedule is found and how fast, never whether one exists;
+* every feasible schedule is replayed through the **reference engine**
+  (:class:`repro.tpn.state.StateEngine`, checked firing rule) before
+  being returned, so a parallel win is independently proven legal;
+* the winning policy is recorded on the result
+  (``result.winner_policy``) and rerunning that policy serially
+  (``SchedulerConfig(policy=..., policy_seed=...)``) reproduces the
+  winner's search deterministically.
+
+Cancellation is cooperative-first: workers poll a shared event every
+1024 expansions (the scheduler's ``tick`` hook) and report their final
+counters before exiting, so the merged :class:`SearchStats` accounts
+for the whole race; ``terminate()`` is only the backstop for a worker
+stuck outside the search loop.  :meth:`ParallelScheduler.search` does
+not return until every worker process has been joined or killed — no
+orphans survive a win.
+
+The work-stealing visited filter stores 64-bit state hashes, not full
+states: two distinct states colliding on all 64 bits could in theory
+be conflated (standard hash-compaction caveat, cf. bitstate hashing in
+explicit-state model checkers); at the state counts this repository
+searches the probability is negligible, and the feasible path is
+always re-validated exactly.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from multiprocessing import get_context
+
+from repro.errors import SchedulingError
+from repro.scheduler.config import SchedulerConfig
+from repro.scheduler.dfs import ENGINES, PreRuntimeScheduler
+from repro.scheduler.policies import (
+    default_portfolio,
+    parse_policy,
+)
+from repro.scheduler.result import SchedulerResult, SearchStats
+from repro.tpn.fastengine import SubtreeJob, export_job
+from repro.tpn.net import CompiledNet
+from repro.tpn.state import StateEngine
+
+#: Frontier jobs exported per worker: enough imbalance absorption that
+#: an unlucky worker's huge subtree does not serialise the rest.
+JOBS_PER_WORKER = 4
+
+#: Expansion budget of the breadth-first frontier split; small models
+#: complete entirely inside it, which is the serial fallback path.
+SPLIT_BUDGET = 2048
+
+#: First restart budget (states) of the seeded-random portfolio
+#: policy, doubled on every restart (geometric / Luby-style schedule).
+RESTART_BASE_STATES = 4096
+
+#: Seconds the parent keeps draining stats messages after a win.
+_DRAIN_GRACE = 2.0
+
+_MASK64 = (1 << 64) - 1
+
+
+# ----------------------------------------------------------------------
+# Shared visited filter (work-stealing mode)
+# ----------------------------------------------------------------------
+class SharedVisitedFilter:
+    """Cross-process visited set over 64-bit state hashes.
+
+    A fixed-size open-addressing table in multiprocessing shared
+    memory.  ``add(h)`` claims a hash: ``True`` means "new, yours to
+    explore", ``False`` means "another worker already claimed it".
+    Updates are deliberately lock-free: the worst race duplicates a
+    claim, which costs redundant exploration but never skips a state
+    that nobody explores — the filter errs on the side of work, so the
+    infeasible verdict stays sound.  A saturated probe window likewise
+    degrades to "treat as new".
+    """
+
+    __slots__ = ("_table", "_mask", "_probes")
+
+    def __init__(self, slots: int, context=None):
+        if slots < 2 or slots & (slots - 1):
+            raise SchedulingError(
+                f"filter size must be a power of two >= 2, got {slots}"
+            )
+        ctx = context if context is not None else get_context()
+        self._table = ctx.RawArray("Q", slots)
+        self._mask = slots - 1
+        self._probes = 32
+
+    @classmethod
+    def for_budget(cls, max_states: int, context=None) -> "SharedVisitedFilter":
+        """Size the table to ~2x the state budget (capped at 4M slots)."""
+        slots = 1 << 14
+        while slots < 2 * max_states and slots < (1 << 22):
+            slots <<= 1
+        return cls(slots, context=context)
+
+    @property
+    def slots(self) -> int:
+        return self._mask + 1
+
+    def add(self, state_hash: int) -> bool:
+        """Claim a hash; False when it was already present."""
+        value = state_hash & _MASK64
+        if value == 0:
+            value = 1  # 0 is the empty-slot sentinel
+        table = self._table
+        mask = self._mask
+        index = value & mask
+        for _ in range(self._probes):
+            current = table[index]
+            if current == value:
+                return False
+            if current == 0:
+                table[index] = value
+                return True
+            index = (index + 1) & mask
+        return True  # saturated window: explore rather than skip
+
+    def seed(self, hashes) -> None:
+        """Pre-claim states already expanded by the frontier split."""
+        for state_hash in hashes:
+            self.add(state_hash)
+
+
+# ----------------------------------------------------------------------
+# Frontier split (work-stealing mode)
+# ----------------------------------------------------------------------
+@dataclass
+class FrontierSplit:
+    """Outcome of the breadth-first prefix expansion.
+
+    Either ``result`` is set (the split finished the search by itself —
+    tiny model, immediate schedule, or fully exhausted space: the exact
+    serial verdict) or ``jobs`` carries at least one subtree to hand
+    out, with ``seen_hashes`` holding every state the split expanded or
+    enqueued (they seed the shared filter).
+    """
+
+    jobs: list[SubtreeJob] = field(default_factory=list)
+    seen_hashes: list[int] = field(default_factory=list)
+    result: SchedulerResult | None = None
+    stats: SearchStats = field(default_factory=SearchStats)
+
+
+def split_frontier(
+    net: CompiledNet,
+    config: SchedulerConfig,
+    target_jobs: int,
+    budget: int = SPLIT_BUDGET,
+) -> FrontierSplit:
+    """Expand a BFS prefix of the search into ``target_jobs`` subtrees.
+
+    Runs the same candidate enumeration, deadline pruning and
+    final-marking detection as the serial DFS, so any verdict reached
+    *during* the split is already the serial verdict.  The frontier is
+    expanded shallowest-first, which keeps the exported ``_Frame``
+    prefixes short and the subtree sizes comparable.
+    """
+    scheduler = PreRuntimeScheduler(
+        net, replace(config, parallel=0), engine="incremental"
+    )
+    fast = scheduler.fast
+    stats = SearchStats()
+    started = time.monotonic()
+
+    s0 = fast.initial()
+    if net.has_missed_deadline(s0.marking):
+        raise SchedulingError(
+            "initial marking already contains a missed deadline"
+        )
+    if net.is_final(s0.marking):
+        stats.states_visited = 1
+        stats.elapsed_seconds = time.monotonic() - started
+        return FrontierSplit(
+            result=SchedulerResult(
+                feasible=True, stats=stats, config=config
+            ),
+            stats=stats,
+        )
+
+    candidates_of = scheduler._candidates_fast
+    reorder = scheduler._reorder
+    touches_miss = net.touches_miss
+    touches_final = net.touches_final
+    names = net.transition_names
+
+    visited = {s0}
+    frontier: deque[tuple] = deque([(s0, 0, ())])
+    expansions = 0
+
+    while frontier and len(frontier) < target_jobs and expansions < budget:
+        state, now, prefix = frontier.popleft()
+        candidates = candidates_of(state, stats)
+        if reorder is not None:
+            candidates = reorder(candidates, state)
+        expansions += 1
+        for transition, delay in candidates:
+            stats.states_generated += 1
+            child = fast.successor(state, transition, delay)
+            if touches_miss[transition] and net.has_missed_deadline(
+                child.marking
+            ):
+                stats.deadline_prunes += 1
+                continue
+            if child in visited:
+                stats.revisits_skipped += 1
+                continue
+            visited.add(child)
+            action = (transition, delay, now + delay)
+            if touches_final[transition] and net.is_final(child.marking):
+                schedule = [
+                    (names[t], q, at) for t, q, at in prefix
+                ]
+                schedule.append((names[transition], delay, now + delay))
+                stats.states_visited = len(visited)
+                stats.elapsed_seconds = time.monotonic() - started
+                return FrontierSplit(
+                    result=SchedulerResult(
+                        feasible=True,
+                        firing_schedule=schedule,
+                        stats=stats,
+                        config=config,
+                    ),
+                    stats=stats,
+                )
+            frontier.append((child, now + delay, prefix + (action,)))
+
+    stats.states_visited = len(visited)
+    stats.elapsed_seconds = time.monotonic() - started
+    if not frontier:
+        # the BFS exhausted the whole reachable space: definitive
+        # infeasible, exactly what the serial DFS would conclude
+        return FrontierSplit(
+            result=SchedulerResult(
+                feasible=False, stats=stats, config=config
+            ),
+            stats=stats,
+        )
+    jobs = [
+        export_job(state, now, prefix)
+        for state, now, prefix in frontier
+    ]
+    return FrontierSplit(
+        jobs=jobs,
+        seen_hashes=[state._hash for state in visited],
+        stats=stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# Schedule validation (the determinism contract)
+# ----------------------------------------------------------------------
+def validate_with_reference(
+    net: CompiledNet,
+    config: SchedulerConfig,
+    schedule: list[tuple[str, int, int]],
+) -> None:
+    """Replay a firing schedule through the checked reference engine.
+
+    Every firing is validated against Definition 3.1 (enabledness,
+    admissible delay window under strong semantics) by
+    :meth:`StateEngine.fire`, and the final marking must satisfy
+    ``M_F``.  Raises :class:`SchedulingError` when the schedule is not
+    a legal feasible run — which would mean a parallel worker produced
+    garbage, so the error is loud rather than folded into a verdict.
+    """
+    engine = StateEngine(net, reset_policy=config.reset_policy)
+    state = engine.initial_state()
+    index = net.transition_index
+    now = 0
+    for name, delay, at in schedule:
+        state = engine.fire(state, index[name], delay)
+        now += delay
+        if now != at:
+            raise SchedulingError(
+                f"parallel schedule timestamp mismatch at {name!r}: "
+                f"recorded {at}, replayed {now}"
+            )
+    if not net.is_final(state.marking):
+        raise SchedulingError(
+            "parallel schedule does not reach the final marking "
+            "under the reference engine"
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker processes
+# ----------------------------------------------------------------------
+def _stats_payload(stats: SearchStats) -> dict:
+    payload = stats.as_dict()
+    payload.pop("states_per_second", None)
+    return payload
+
+
+def _accumulate(total: dict, payload: dict) -> None:
+    for key, value in payload.items():
+        if key == "elapsed_seconds":
+            continue
+        total[key] = total.get(key, 0) + value
+
+
+def _portfolio_worker(
+    index: int,
+    policy_text: str,
+    net: CompiledNet,
+    config: SchedulerConfig,
+    engine: str,
+    results,
+    cancel,
+) -> None:
+    """Run one complete search under one policy; report the outcome."""
+    name, seed = parse_policy(policy_text)
+    if seed is None:
+        seed = index
+    merged: dict = {}
+    restarts = 0
+    try:
+        deadline = (
+            None
+            if config.max_seconds is None
+            else time.monotonic() + config.max_seconds
+        )
+
+        def tick(*_counters) -> bool:
+            return cancel.is_set()
+
+        def run_once(cfg: SchedulerConfig) -> SchedulerResult:
+            scheduler = PreRuntimeScheduler(net, cfg, engine=engine)
+            scheduler.tick = tick
+            return scheduler.search()
+
+        base = replace(
+            config,
+            parallel=0,
+            portfolio=(),
+            policy=name,
+            policy_seed=seed,
+        )
+        if name == "random":
+            # geometric restarts: heavy-tailed instances usually fall
+            # to *some* seed quickly; doubling budgets bound the total
+            # overhead to <= 2x the lucky seed's work
+            spent = 0
+            budget = min(RESTART_BASE_STATES, config.max_states)
+            result = None
+            while True:
+                remaining = config.max_states - spent
+                if remaining <= 0:
+                    break
+                seconds_left = (
+                    None
+                    if deadline is None
+                    else max(0.001, deadline - time.monotonic())
+                )
+                cfg = replace(
+                    base,
+                    policy_seed=seed + restarts,
+                    max_states=min(budget, remaining),
+                    max_seconds=seconds_left,
+                )
+                attempt = run_once(cfg)
+                _accumulate(merged, _stats_payload(attempt.stats))
+                spent += attempt.stats.states_visited
+                result = attempt
+                if cancel.is_set():
+                    break
+                if attempt.feasible or not attempt.exhausted:
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+                restarts += 1
+                budget *= 2
+        else:
+            result = run_once(base)
+            _accumulate(merged, _stats_payload(result.stats))
+
+        merged["restarts"] = restarts
+        if cancel.is_set():
+            kind = "cancelled"
+        elif result is None or (not result.feasible and result.exhausted):
+            kind = "exhausted"
+        elif result.feasible:
+            kind = "feasible"
+        else:
+            kind = "infeasible"
+        payload = (
+            list(result.firing_schedule)
+            if result is not None and result.feasible
+            else None
+        )
+        results.put((kind, index, policy_text, merged, payload))
+    except Exception as error:  # noqa: BLE001 — workers must not die silently
+        results.put(
+            (
+                "error",
+                index,
+                policy_text,
+                merged,
+                f"{type(error).__name__}: {error}",
+            )
+        )
+
+
+def _worksteal_worker(
+    index: int,
+    net: CompiledNet,
+    config: SchedulerConfig,
+    jobs,
+    results,
+    cancel,
+    visited_filter: SharedVisitedFilter,
+    visited_total,
+) -> None:
+    """Drain subtree jobs against the shared visited filter."""
+    merged: dict = {}
+    exhausted_any = False
+    names = net.transition_names
+    try:
+        scheduler = PreRuntimeScheduler(
+            net, replace(config, parallel=0), engine="incremental"
+        )
+        scheduler.shared_filter = visited_filter
+        flushed = [0]
+
+        def tick(n_visited, *_counters) -> bool:
+            if cancel.is_set():
+                return True
+            delta = n_visited - flushed[0]
+            flushed[0] = n_visited
+            with visited_total.get_lock():
+                visited_total.value += delta
+                return visited_total.value >= config.max_states
+
+        scheduler.tick = tick
+        while not cancel.is_set():
+            try:
+                job = jobs.get(timeout=0.2)
+            except queue_module.Empty:
+                continue
+            if job is None:
+                break
+            flushed[0] = 0
+            root = scheduler.fast.revive(job.marking, job.clocks)
+            result = scheduler.search_from(root, job.now)
+            with visited_total.get_lock():
+                visited_total.value += (
+                    result.stats.states_visited - flushed[0]
+                )
+                over_budget = visited_total.value >= config.max_states
+            _accumulate(merged, _stats_payload(result.stats))
+            if result.feasible:
+                schedule = [
+                    (names[t], q, at) for t, q, at in job.prefix
+                ]
+                schedule.extend(result.firing_schedule)
+                results.put(("found", index, None, merged, schedule))
+                return
+            if result.exhausted:
+                # budget- or cancel-aborted: this subtree was not
+                # fully explored, so the verdict cannot claim the
+                # space was exhausted
+                exhausted_any = True
+            if over_budget:
+                exhausted_any = True
+                break
+        if cancel.is_set():
+            # cancelled between jobs: whatever is still queued was
+            # never searched
+            exhausted_any = True
+        results.put(("drained", index, None, merged, exhausted_any))
+    except Exception as error:  # noqa: BLE001
+        results.put(
+            (
+                "error",
+                index,
+                None,
+                merged,
+                f"{type(error).__name__}: {error}",
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# The parallel scheduler
+# ----------------------------------------------------------------------
+class ParallelScheduler:
+    """Race or partition the pre-runtime DFS across worker processes.
+
+    Construct with the same ``(net, config, engine)`` triple as
+    :class:`PreRuntimeScheduler`; ``config.parallel`` (>= 2) is the
+    worker count and ``config.parallel_mode`` picks the strategy.
+    :meth:`search` blocks until a verdict is reached and every worker
+    process has been reaped.
+    """
+
+    def __init__(
+        self,
+        net: CompiledNet,
+        config: SchedulerConfig | None = None,
+        engine: str = "incremental",
+    ):
+        self.net = net
+        self.config = config or SchedulerConfig()
+        if engine not in ENGINES:
+            raise SchedulingError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        self.engine_mode = engine
+        if self.config.parallel < 2:
+            raise SchedulingError(
+                "ParallelScheduler needs config.parallel >= 2 "
+                "(use PreRuntimeScheduler for a serial search)"
+            )
+        if (
+            self.config.parallel_mode == "worksteal"
+            and engine != "incremental"
+        ):
+            raise SchedulingError(
+                "work-stealing mode requires the incremental engine "
+                "(the shared filter runs on FastState hashes)"
+            )
+        try:
+            self._context = get_context("fork")
+        except ValueError:  # platforms without fork
+            self._context = get_context()
+
+    # ------------------------------------------------------------------
+    def portfolio_policies(self) -> tuple[str, ...]:
+        """The policy raced by each worker slot.
+
+        An explicit ``config.portfolio`` is honoured (truncated to the
+        worker count, padded with fresh random seeds when shorter);
+        otherwise the default rotation applies.
+        """
+        workers = self.config.parallel
+        if not self.config.portfolio:
+            return default_portfolio(workers)
+        entries = list(self.config.portfolio[:workers])
+        used_seeds = set()
+        for index, entry in enumerate(entries):
+            name, seed = parse_policy(entry)
+            if name == "random":
+                # unseeded entries default to the worker index
+                used_seeds.add(index if seed is None else seed)
+        seed = 0
+        while len(entries) < workers:
+            while seed in used_seeds:
+                seed += 1
+            used_seeds.add(seed)
+            entries.append(f"random:{seed}")
+        return tuple(entries)
+
+    def search(self) -> SchedulerResult:
+        if self.config.parallel_mode == "worksteal":
+            return self._search_worksteal()
+        return self._search_portfolio()
+
+    # ------------------------------------------------------------------
+    def _search_portfolio(self) -> SchedulerResult:
+        config = self.config
+        started = time.monotonic()
+        ctx = self._context
+        results = ctx.Queue()
+        cancel = ctx.Event()
+        policies = self.portfolio_policies()
+        workers = [
+            ctx.Process(
+                target=_portfolio_worker,
+                args=(
+                    index,
+                    policy,
+                    self.net,
+                    config,
+                    self.engine_mode,
+                    results,
+                    cancel,
+                ),
+                name=f"ezrt-portfolio-{index}",
+            )
+            for index, policy in enumerate(policies)
+        ]
+        for process in workers:
+            process.start()
+
+        messages = self._collect(
+            workers, results, cancel, expected=len(workers)
+        )
+        winner = None
+        for message in messages:
+            if message[0] in ("feasible", "infeasible"):
+                winner = message
+                break
+        merged = self._merge_stats(messages)
+        merged.elapsed_seconds = time.monotonic() - started
+        if winner is None:
+            errors = [m for m in messages if m[0] == "error"]
+            if len(errors) == len(workers) and errors:
+                raise SchedulingError(
+                    f"every portfolio worker failed; first: {errors[0][4]}"
+                )
+            if not messages:
+                raise SchedulingError(
+                    "portfolio search produced no worker results"
+                )
+            return SchedulerResult(
+                feasible=False,
+                stats=merged,
+                config=config,
+                exhausted=True,
+                workers=len(workers),
+            )
+        kind, _index, policy, _stats, payload = winner
+        if kind == "feasible":
+            schedule = [tuple(entry) for entry in payload]
+            validate_with_reference(self.net, config, schedule)
+            return SchedulerResult(
+                feasible=True,
+                firing_schedule=schedule,
+                stats=merged,
+                config=config,
+                winner_policy=policy,
+                workers=len(workers),
+            )
+        return SchedulerResult(
+            feasible=False,
+            stats=merged,
+            config=config,
+            winner_policy=policy,
+            workers=len(workers),
+        )
+
+    # ------------------------------------------------------------------
+    def _search_worksteal(self) -> SchedulerResult:
+        config = self.config
+        started = time.monotonic()
+        n_workers = config.parallel
+        split = split_frontier(
+            self.net, config, target_jobs=n_workers * JOBS_PER_WORKER
+        )
+        if split.result is not None:
+            # the split finished the search serially: no worker ran,
+            # but the contract still holds — feasible schedules are
+            # reference-replayed before being returned
+            result = split.result
+            if result.feasible:
+                validate_with_reference(
+                    self.net, config, result.firing_schedule
+                )
+            result.workers = 1
+            result.stats.elapsed_seconds = time.monotonic() - started
+            return result
+
+        ctx = self._context
+        visited_filter = SharedVisitedFilter.for_budget(
+            config.max_states, context=ctx
+        )
+        visited_filter.seed(split.seen_hashes)
+        visited_total = ctx.Value("q", len(split.seen_hashes))
+        jobs: object = ctx.Queue()
+        for job in split.jobs:
+            jobs.put(job)
+        for _ in range(n_workers):
+            jobs.put(None)
+        results = ctx.Queue()
+        cancel = ctx.Event()
+        workers = [
+            ctx.Process(
+                target=_worksteal_worker,
+                args=(
+                    index,
+                    self.net,
+                    config,
+                    jobs,
+                    results,
+                    cancel,
+                    visited_filter,
+                    visited_total,
+                ),
+                name=f"ezrt-worksteal-{index}",
+            )
+            for index in range(n_workers)
+        ]
+        for process in workers:
+            process.start()
+
+        messages = self._collect(
+            workers,
+            results,
+            cancel,
+            expected=len(workers),
+            win_kinds=("found",),
+            extra_queues=(jobs,),
+        )
+        merged = self._merge_stats(messages, base=split.stats)
+        merged.elapsed_seconds = time.monotonic() - started
+        found = next((m for m in messages if m[0] == "found"), None)
+        if found is not None:
+            schedule = [tuple(entry) for entry in found[4]]
+            validate_with_reference(self.net, config, schedule)
+            return SchedulerResult(
+                feasible=True,
+                firing_schedule=schedule,
+                stats=merged,
+                config=config,
+                workers=n_workers,
+            )
+        errors = [m for m in messages if m[0] == "error"]
+        if len(errors) == len(workers) and errors:
+            raise SchedulingError(
+                f"every work-stealing worker failed; first: {errors[0][4]}"
+            )
+        if not messages:
+            raise SchedulingError(
+                "work-stealing search produced no worker results"
+            )
+        exhausted = any(
+            m[0] == "drained" and m[4] for m in messages
+        ) or any(m[0] == "error" for m in messages) or len(
+            [m for m in messages if m[0] == "drained"]
+        ) < len(workers)
+        return SchedulerResult(
+            feasible=False,
+            stats=merged,
+            config=config,
+            exhausted=exhausted,
+            workers=n_workers,
+        )
+
+    # ------------------------------------------------------------------
+    def _collect(
+        self,
+        workers,
+        results,
+        cancel,
+        expected: int,
+        win_kinds: tuple[str, ...] = ("feasible", "infeasible"),
+        extra_queues: tuple = (),
+    ) -> list[tuple]:
+        """Gather worker messages; cancel on the first definitive one.
+
+        Returns every message received.  Guarantees that all worker
+        processes are dead (joined, terminated or killed) on return.
+        """
+        config = self.config
+        messages: list[tuple] = []
+        budget_deadline = (
+            None
+            if config.max_seconds is None
+            else time.monotonic() + config.max_seconds + _DRAIN_GRACE
+        )
+        drain_deadline = None
+        try:
+            while len(messages) < expected:
+                if drain_deadline is not None:
+                    timeout = drain_deadline - time.monotonic()
+                    if timeout <= 0:
+                        break
+                    timeout = min(timeout, 0.2)
+                else:
+                    timeout = 0.2
+                try:
+                    message = results.get(timeout=timeout)
+                except queue_module.Empty:
+                    if budget_deadline is not None and (
+                        time.monotonic() > budget_deadline
+                    ):
+                        cancel.set()
+                        if drain_deadline is None:
+                            drain_deadline = (
+                                time.monotonic() + _DRAIN_GRACE
+                            )
+                    if not any(p.is_alive() for p in workers):
+                        # reap whatever is still buffered, then stop
+                        while True:
+                            try:
+                                messages.append(results.get_nowait())
+                            except queue_module.Empty:
+                                break
+                        break
+                    continue
+                messages.append(message)
+                if drain_deadline is None and message[0] in win_kinds:
+                    cancel.set()
+                    drain_deadline = time.monotonic() + _DRAIN_GRACE
+        finally:
+            cancel.set()
+            for process in workers:
+                process.join(timeout=1.0)
+            for process in workers:
+                if process.is_alive():
+                    process.terminate()
+            for process in workers:
+                if process.is_alive():
+                    process.join(timeout=1.0)
+            for process in workers:
+                if process.is_alive():  # pragma: no cover — last resort
+                    process.kill()
+                    process.join(timeout=1.0)
+            for process in workers:
+                try:
+                    process.close()
+                except ValueError:  # pragma: no cover — unkillable
+                    pass
+            for extra in extra_queues:
+                extra.cancel_join_thread()
+                extra.close()
+            results.cancel_join_thread()
+            results.close()
+        return messages
+
+    @staticmethod
+    def _merge_stats(
+        messages: list[tuple], base: SearchStats | None = None
+    ) -> SearchStats:
+        """Sum the per-worker counters into one :class:`SearchStats`."""
+        merged = SearchStats()
+        if base is not None:
+            for key, value in base.as_dict().items():
+                if key in ("elapsed_seconds", "states_per_second"):
+                    continue
+                setattr(merged, key, getattr(merged, key) + value)
+        for message in messages:
+            payload = message[3] or {}
+            for key, value in payload.items():
+                if not hasattr(merged, key):
+                    continue
+                setattr(merged, key, getattr(merged, key) + value)
+        return merged

@@ -16,6 +16,14 @@ class SearchStats:
     ``minimum_states`` of a model is its backtrack-free path length
     (paper: 3130 for the mine pump), so ``states_visited −
     schedule_length`` measures backtracking overhead.
+
+    A parallel search (:mod:`repro.scheduler.parallel`) returns the
+    *merged* counters of every worker in the race, so
+    ``states_visited`` then measures total work done across the
+    portfolio/partition, not the winner's path alone; unlike serial
+    counters the merged values are not run-to-run deterministic (they
+    depend on when the losers were cancelled).  ``restarts`` counts
+    seeded-random restarts performed by portfolio workers.
     """
 
     states_visited: int = 0
@@ -24,6 +32,7 @@ class SearchStats:
     deadline_prunes: int = 0
     backtracks: int = 0
     reductions: int = 0
+    restarts: int = 0
     elapsed_seconds: float = 0.0
 
     #: Dict keys that depend on wall-clock time rather than the search
@@ -46,6 +55,7 @@ class SearchStats:
             "deadline_prunes": self.deadline_prunes,
             "backtracks": self.backtracks,
             "reductions": self.reductions,
+            "restarts": self.restarts,
             "elapsed_seconds": self.elapsed_seconds,
             "states_per_second": self.states_per_second,
         }
@@ -62,6 +72,8 @@ class SearchStats:
             f"search time      : {self.elapsed_seconds * 1000:.1f} ms",
             f"throughput       : {self.states_per_second:,.0f} states/s",
         ]
+        if self.restarts:
+            lines.insert(6, f"restarts         : {self.restarts}")
         return "\n".join(lines)
 
 
@@ -84,6 +96,10 @@ class SchedulerResult:
         config: the configuration used.
         minimum_firings: the model's backtrack-free path length, when
             known (used for the paper's visited/minimum comparison).
+        winner_policy: in a portfolio race, the policy whose search
+            produced the verdict (e.g. ``"random:1"``); ``None`` for
+            serial and work-stealing searches.
+        workers: worker processes used (1 for a serial search).
     """
 
     feasible: bool
@@ -94,6 +110,8 @@ class SchedulerResult:
     config: SchedulerConfig = field(default_factory=SchedulerConfig)
     exhausted: bool = False
     minimum_firings: int | None = None
+    winner_policy: str | None = None
+    workers: int = 1
 
     @property
     def schedule_length(self) -> int:
@@ -127,4 +145,8 @@ class SchedulerResult:
         )
         lines.append(f"backtracks      : {self.stats.backtracks}")
         lines.append(f"deadline prunes : {self.stats.deadline_prunes}")
+        if self.workers > 1:
+            lines.append(f"workers         : {self.workers}")
+        if self.winner_policy is not None:
+            lines.append(f"winning policy  : {self.winner_policy}")
         return "\n".join(lines)

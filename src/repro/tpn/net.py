@@ -633,6 +633,30 @@ class CompiledNet:
             for t in range(self.num_transitions)
         )
 
+    # ------------------------------------------------------------------
+    # Pickling (parallel-search handoff)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Ship only the compiled vectors, not the builder.
+
+        The parallel scheduler sends one ``CompiledNet`` to every
+        worker process; the ``source`` builder (name-keyed dicts of
+        dataclasses) dwarfs the compiled arrays and no engine reads it,
+        so it is dropped from the pickle.  An unpickled net therefore
+        has ``source is None`` — everything the schedulers, engines and
+        schedule extraction need lives in the compiled slots.
+        """
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "source"
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self.source = None
+
     @property
     def num_places(self) -> int:
         return len(self.place_names)

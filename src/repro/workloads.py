@@ -93,6 +93,86 @@ def random_task_set(
     return builder.build()
 
 
+def time_scaled_task_set(
+    spec: EzRTSpec, scale: int, name: str | None = None
+) -> EzRTSpec:
+    """Multiply every timing attribute of a specification by ``scale``.
+
+    Time-scaling preserves the scheduling *structure* — the same
+    tasks, relations, messages and processor assignments, so the same
+    grant decisions arise in the same order — while multiplying the
+    number of timed states roughly linearly.  This is the knob the
+    parallel benches use to grow an instance until process startup
+    noise is negligible.  Timing fields scale (computation, deadline,
+    period, release, phase, message communication); structure
+    (precedence/exclusion relations, energy, source code, bus grants)
+    carries over unchanged.
+    """
+    if scale < 1:
+        raise SpecificationError("scale must be >= 1")
+    builder = SpecBuilder(
+        name or f"{spec.name}-x{scale}", disp_oveh=spec.disp_oveh
+    )
+    for processor in spec.processors:
+        builder.processor(processor.name)
+    for task in spec.tasks:
+        builder.task(
+            task.name,
+            computation=task.computation * scale,
+            deadline=task.deadline * scale,
+            period=task.period * scale,
+            release=task.release * scale,
+            phase=task.phase * scale,
+            scheduling=task.scheduling,
+            energy=task.energy,
+            processor=task.processor,
+            code=task.code.content if task.code else None,
+        )
+    exclusions: set[tuple[str, str]] = set()
+    for task in spec.tasks:
+        for after in task.precedes_tasks:
+            builder.precedence(task.name, after)
+        for other in task.excludes_tasks:
+            exclusions.add(tuple(sorted((task.name, other))))
+    for first, second in sorted(exclusions):
+        builder.exclusion(first, second)
+    for message in spec.messages:
+        builder.message(
+            message.name,
+            sender=message.sender,
+            receiver=message.precedes,
+            communication=message.communication * scale,
+            bus=message.bus,
+            grant_bus=message.grant_bus * scale,
+        )
+    return builder.build()
+
+
+def hard_portfolio_task_set(scale: int = 2) -> EzRTSpec:
+    """The portfolio bench's hard model: feasible but order-hostile.
+
+    A fully preemptive five-task set at utilisation 0.85 with tight
+    deadlines (``random_task_set(5, 0.85, seed=7,
+    preemptive_fraction=1.0, deadline_slack=0.7)``), time-scaled ×2 by
+    default.  Preemption points make every grant a genuine branch, and
+    on this instance the default ``(delay, priority, index)`` ordering
+    commits to early decisions it can only refute hundreds of
+    thousands of states later, while alternative orderings (seeded
+    shuffles in particular) reach a schedule in a few thousand states
+    — the heavy-tailed gap the portfolio race exploits.
+    """
+    base = random_task_set(
+        5,
+        0.85,
+        seed=7,
+        preemptive_fraction=1.0,
+        deadline_slack=0.7,
+    )
+    return time_scaled_task_set(
+        base, scale, name=f"portfolio-hard-x{scale}"
+    )
+
+
 def campaign_task_sets(
     n_tasks_values,
     utilizations,

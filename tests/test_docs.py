@@ -1,0 +1,121 @@
+"""Documentation health: tutorial commands run, links resolve.
+
+Two contracts keep ``docs/`` honest:
+
+* every ``ezrt ...`` line inside a ```` ```bash ```` fence of
+  ``docs/tutorial.md`` is executed verbatim (in one shared temporary
+  working directory, in document order, via ``repro.cli.main``) and
+  must succeed — so the tutorial cannot drift from the CLI;
+* every relative Markdown link in ``README.md`` and ``docs/*.md``
+  must point at an existing file in the repository.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shlex
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..")
+)
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
+TUTORIAL = os.path.join(DOCS_DIR, "tutorial.md")
+
+_FENCE = re.compile(r"```bash\n(.*?)```", re.DOTALL)
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _tutorial_commands() -> list[str]:
+    with open(TUTORIAL, encoding="utf-8") as fh:
+        text = fh.read()
+    commands = []
+    for block in _FENCE.findall(text):
+        for line in block.splitlines():
+            line = line.strip()
+            if line.startswith("ezrt "):
+                commands.append(line)
+    return commands
+
+
+class TestTutorialCommands:
+    def test_tutorial_has_a_real_walkthrough(self):
+        commands = _tutorial_commands()
+        assert len(commands) >= 10
+        subcommands = {command.split()[1] for command in commands}
+        # the walkthrough must exercise the whole pipeline
+        assert {
+            "validate",
+            "compile",
+            "schedule",
+            "codegen",
+            "simulate",
+            "batch",
+        } <= subcommands
+        # ... including the parallel search
+        assert any("--parallel" in command for command in commands)
+
+    def test_every_tutorial_command_succeeds(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        for command in _tutorial_commands():
+            argv = shlex.split(command)[1:]
+            code = main(argv)
+            out = capsys.readouterr()
+            assert code == 0, (
+                f"tutorial command failed (rc={code}): {command}\n"
+                f"stdout:\n{out.out}\nstderr:\n{out.err}"
+            )
+
+
+def _markdown_files() -> list[str]:
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    for name in sorted(os.listdir(DOCS_DIR)):
+        if name.endswith(".md"):
+            files.append(os.path.join(DOCS_DIR, name))
+    return files
+
+
+class TestDocLinks:
+    @pytest.mark.parametrize(
+        "path",
+        _markdown_files(),
+        ids=lambda p: os.path.relpath(p, REPO_ROOT),
+    )
+    def test_relative_links_resolve(self, path):
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        broken = []
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue  # pure anchor
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target)
+            )
+            if not os.path.exists(resolved):
+                broken.append(target)
+        assert not broken, (
+            f"{os.path.relpath(path, REPO_ROOT)} has broken links: "
+            f"{broken}"
+        )
+
+    def test_readme_links_the_docs_tree(self):
+        with open(
+            os.path.join(REPO_ROOT, "README.md"), encoding="utf-8"
+        ) as fh:
+            readme = fh.read()
+        for page in (
+            "docs/architecture.md",
+            "docs/scheduling.md",
+            "docs/batch.md",
+            "docs/tutorial.md",
+        ):
+            assert page in readme, f"README does not link {page}"

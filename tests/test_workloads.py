@@ -129,3 +129,55 @@ class TestRelationalSets:
             2, 0.3, seed=0, precedence_pairs=5, exclusion_pairs=0
         )
         assert len(spec.precedence_pairs()) <= 1
+
+
+class TestTimeScaling:
+    def test_scales_every_timing_field(self):
+        from repro.workloads import time_scaled_task_set
+
+        base = random_task_set(4, 0.5, seed=3, preemptive_fraction=0.5)
+        scaled = time_scaled_task_set(base, 3)
+        assert validate_spec(scaled) == []
+        for original, copy in zip(base.tasks, scaled.tasks):
+            assert copy.computation == original.computation * 3
+            assert copy.deadline == original.deadline * 3
+            assert copy.period == original.period * 3
+            assert copy.scheduling == original.scheduling
+
+    def test_preserves_relations_and_structure(self):
+        from repro.workloads import time_scaled_task_set
+
+        base = random_task_set_with_relations(
+            6, 0.4, seed=11, precedence_pairs=2, exclusion_pairs=2
+        )
+        scaled = time_scaled_task_set(base, 2)
+        assert validate_spec(scaled) == []
+        assert scaled.precedence_pairs() == base.precedence_pairs()
+        assert sorted(
+            tuple(sorted(pair)) for pair in scaled.exclusion_pairs()
+        ) == sorted(
+            tuple(sorted(pair)) for pair in base.exclusion_pairs()
+        )
+        assert [p.name for p in scaled.processors] == [
+            p.name for p in base.processors
+        ]
+
+    def test_rejects_zero_scale(self):
+        from repro.workloads import time_scaled_task_set
+
+        with pytest.raises(SpecificationError):
+            time_scaled_task_set(random_task_set(3, 0.4), 0)
+
+    def test_hard_portfolio_task_set_is_deterministic(self):
+        from repro.workloads import hard_portfolio_task_set
+
+        first = hard_portfolio_task_set()
+        second = hard_portfolio_task_set()
+        assert validate_spec(first) == []
+        assert [
+            (t.name, t.computation, t.deadline, t.period)
+            for t in first.tasks
+        ] == [
+            (t.name, t.computation, t.deadline, t.period)
+            for t in second.tasks
+        ]
