@@ -13,9 +13,10 @@ The key is the SHA-256 hex digest of the canonical JSON encoding
     {"v": <format version>,
      "spec": <spec fingerprint>,
      "composer": {"style": ..., "priority_policy": ...},
-     "scheduler": {"priority_mode": ..., "delay_mode": ...,
-                   "partial_order": ..., "reset_policy": ...,
-                   "max_states": ..., "max_seconds": ...},
+     "scheduler": {"engine": ..., "priority_mode": ...,
+                   "delay_mode": ..., "partial_order": ...,
+                   "reset_policy": ..., "max_states": ...,
+                   "max_seconds": ...},
      "stages": {"codegen": <target or None>, "simulate": <bool>,
                 "store_schedule": <bool>}}
 
@@ -46,7 +47,12 @@ from repro.spec.model import EzRTSpec
 
 #: Bump when the fingerprint layout or outcome payload changes shape.
 #: v2: scheduler section gained the search-policy and parallel knobs.
-CACHE_FORMAT_VERSION = 2
+#: v3: scheduler section gained the engine selection — reference,
+#: incremental and stateclass runs used to collide on one key even
+#: though their stats and schedule shapes differ; bumping the version
+#: also makes every v2 entry miss cleanly instead of being replayed
+#: with the wrong shape.
+CACHE_FORMAT_VERSION = 3
 
 
 def spec_fingerprint(spec: EzRTSpec) -> dict:
@@ -103,6 +109,7 @@ def job_fingerprint(
             "priority_policy": options.priority_policy,
         },
         "scheduler": {
+            "engine": config.engine,
             "priority_mode": config.priority_mode,
             "delay_mode": config.delay_mode,
             "partial_order": config.partial_order,

@@ -37,7 +37,7 @@ import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.batch.cache import ResultCache
 from repro.batch.job import (
@@ -75,6 +75,12 @@ class BatchStats:
     wall_seconds: float = 0.0
     job_seconds: float = 0.0
     workers: int = 1
+    #: worker processes each job's search spawns (1 = serial search),
+    #: after the `cores` budget clamp
+    intra_parallel: int = 1
+    #: True when the requested intra-job `parallel` exceeded the
+    #: `cores` budget and was clamped down to it
+    parallel_clamped: bool = False
 
     @property
     def jobs_per_second(self) -> float:
@@ -112,6 +118,8 @@ class BatchStats:
             "jobs_per_second": self.jobs_per_second,
             "speedup": self.speedup,
             "workers": self.workers,
+            "intra_parallel": self.intra_parallel,
+            "parallel_clamped": self.parallel_clamped,
         }
 
 
@@ -166,6 +174,11 @@ class BatchResult:
                 f"deduplicated {s.deduplicated} repeated job(s) "
                 "within the batch"
             )
+        if s.parallel_clamped:
+            parts.append(
+                f"intra-job parallel clamped to {s.intra_parallel} "
+                "worker(s) to respect the cores budget"
+            )
         return "\n".join(parts)
 
 
@@ -188,8 +201,14 @@ class BatchEngine:
             ``parallel >= 2`` worker processes *per job*, the pool
             width shrinks to ``cores // parallel`` (at least 1) so the
             machine runs ~``cores`` busy processes, not
-            ``jobs × workers``.  ``None`` leaves ``max_workers``
-            untouched.
+            ``jobs × workers`` — and when even a single job would
+            oversubscribe the budget (``parallel > cores``) the
+            intra-job ``parallel`` itself is clamped down to
+            ``cores`` (surfaced as ``BatchStats.parallel_clamped``).
+            ``None`` leaves ``max_workers`` untouched.  The clamp
+            applies to jobs built from bare specifications through
+            this engine's config; prepared :class:`BatchJob` objects
+            carry their own configs unchanged.
     """
 
     def __init__(
@@ -211,9 +230,19 @@ class BatchEngine:
             default_workers() if max_workers is None else max_workers
         )
         self.cores = cores
+        self.parallel_clamped = False
         if cores is not None:
             if cores < 1:
                 raise ValueError("cores budget must be >= 1")
+            if self.scheduler_config.parallel > cores:
+                # a single job may not oversubscribe the budget either:
+                # the pool clamping below bottoms out at 1 worker, so
+                # without this the machine would run `parallel` busy
+                # processes against a smaller `cores` promise
+                self.scheduler_config = replace(
+                    self.scheduler_config, parallel=cores
+                )
+                self.parallel_clamped = True
             intra = max(1, self.scheduler_config.parallel)
             self.max_workers = max(
                 1, min(self.max_workers, cores // intra)
@@ -255,7 +284,10 @@ class BatchEngine:
         """Execute every job; outcomes come back in submission order."""
         jobs = [self._normalize(item) for item in items]
         stats = BatchStats(
-            total=len(jobs), workers=max(1, self.max_workers)
+            total=len(jobs),
+            workers=max(1, self.max_workers),
+            intra_parallel=max(1, self.scheduler_config.parallel),
+            parallel_clamped=self.parallel_clamped,
         )
         outcomes: list[JobOutcome | None] = [None] * len(jobs)
         started = time.monotonic()

@@ -33,8 +33,11 @@ from repro.blocks import BlockStyle, ComposerOptions, compose
 from repro.codegen import TARGETS, generate_project
 from repro.pnml import save as pnml_save
 from repro.scheduler import (
+    ENGINES,
     SchedulerConfig,
+    dense_schedule_entries,
     find_schedule,
+    format_dense_schedule,
     schedule_from_result,
 )
 from repro.sim import run_schedule, verify_trace
@@ -74,6 +77,7 @@ def _scheduler_config(args) -> SchedulerConfig:
         priority_mode=args.priority_mode,
         delay_mode=args.delay_mode,
         partial_order=not args.no_partial_order,
+        engine=args.engine,
         max_states=args.max_states,
         policy=args.policy,
         policy_seed=args.policy_seed,
@@ -99,6 +103,18 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="incremental",
+        help=(
+            "successor engine: the O(degree) incremental hot path "
+            "(default), the checked reference semantics, or the "
+            "dense-time state-class engine (searches Berthomieu-Diaz "
+            "classes and concretises the schedule back to integer "
+            "time)"
+        ),
+    )
     parser.add_argument(
         "--priority-mode",
         choices=("ordered", "strict"),
@@ -202,9 +218,7 @@ def _cmd_compile(args) -> int:
 def _cmd_schedule(args) -> int:
     spec = _load_spec(args.spec)
     model = compose(spec, _composer_options(args))
-    result = find_schedule(
-        model, _scheduler_config(args), engine=args.engine
-    )
+    result = find_schedule(model, _scheduler_config(args))
     if not result.feasible:
         print(full_report(model, result))
         if args.profile:
@@ -214,6 +228,13 @@ def _cmd_schedule(args) -> int:
     print(full_report(model, result, schedule, gantt=args.gantt))
     if args.profile:
         print("\nsearch profile:\n" + result.stats.profile())
+        if result.interval_schedule is not None:
+            print(
+                "\ndense firing windows (stateclass engine):\n"
+                + format_dense_schedule(
+                    dense_schedule_entries(result), limit=40
+                )
+            )
     return 0
 
 
@@ -398,15 +419,6 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "print search statistics (visited, generated, prunes, "
             "reductions, throughput)"
-        ),
-    )
-    p.add_argument(
-        "--engine",
-        choices=("incremental", "reference"),
-        default="incremental",
-        help=(
-            "successor engine: the O(degree) incremental hot path "
-            "(default) or the checked reference semantics"
         ),
     )
     _add_model_arguments(p)

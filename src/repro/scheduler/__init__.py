@@ -11,6 +11,7 @@ from repro.scheduler.baselines import (
 )
 from repro.scheduler.config import (
     DELAY_MODES,
+    ENGINES,
     PARALLEL_MODES,
     PRIORITY_MODES,
     SchedulerConfig,
@@ -35,11 +36,14 @@ from repro.scheduler.policies import (
 from repro.scheduler.result import SchedulerResult, SearchStats
 from repro.scheduler.schedule import (
     BusSegment,
+    DenseScheduleEntry,
     ExecutionSegment,
     ScheduleItem,
     TaskLevelSchedule,
     build_schedule_items,
+    dense_schedule_entries,
     extract_schedule,
+    format_dense_schedule,
     schedule_from_result,
     validate_schedule,
 )
@@ -48,6 +52,8 @@ __all__ = [
     "BusSegment",
     "DELAY_MODES",
     "DeadlineMiss",
+    "DenseScheduleEntry",
+    "ENGINES",
     "ExecutionSegment",
     "PARALLEL_MODES",
     "POLICIES",
@@ -64,9 +70,11 @@ __all__ = [
     "TaskLevelSchedule",
     "build_schedule_items",
     "default_portfolio",
+    "dense_schedule_entries",
     "exclusion_blocking_pair",
     "extract_schedule",
     "find_schedule",
+    "format_dense_schedule",
     "mok_trap",
     "parse_policy",
     "require_schedule",

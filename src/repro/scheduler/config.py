@@ -21,6 +21,13 @@ the ablation benches sweep:
   branching;
 * ``reset_policy`` — clock-reset semantics (see
   :mod:`repro.tpn.state`);
+* ``engine`` — the successor engine driving the search:
+  ``"incremental"`` (the O(degree) discrete-time hot path, default),
+  ``"reference"`` (the checked discrete semantics baseline) or
+  ``"stateclass"`` (the dense-time Berthomieu–Diaz state-class
+  engine of :mod:`repro.tpn.stateclass`, which searches difference-
+  bound classes instead of integer clock valuations and concretises
+  any feasible dense schedule back to integer firing times);
 * resource limits (``max_states``, ``max_seconds``);
 * ``policy`` — the candidate *ordering* used by a serial search (see
   :mod:`repro.scheduler.policies`); orderings never change the verdict,
@@ -45,6 +52,11 @@ PRIORITY_MODES = ("ordered", "strict")
 DELAY_MODES = ("earliest", "extremes", "full")
 PARALLEL_MODES = ("portfolio", "worksteal")
 
+#: Successor engines the scheduler can run on.  ``incremental`` and
+#: ``reference`` share the discrete-time TLTS semantics; ``stateclass``
+#: searches the dense-time state-class graph.
+ENGINES = ("incremental", "reference", "stateclass")
+
 
 @dataclass
 class SchedulerConfig:
@@ -54,6 +66,7 @@ class SchedulerConfig:
     delay_mode: str = "earliest"
     partial_order: bool = True
     reset_policy: str = "paper"
+    engine: str = "incremental"
     max_states: int = 2_000_000
     max_seconds: float | None = None
     policy: str = "earliest"
@@ -78,6 +91,20 @@ class SchedulerConfig:
                 f"unknown reset policy {self.reset_policy!r}; "
                 f"expected one of {RESET_POLICIES}"
             )
+        if self.engine not in ENGINES:
+            raise SchedulingError(
+                f"unknown engine {self.engine!r}; "
+                f"expected one of {ENGINES}"
+            )
+        if self.engine == "stateclass" and self.delay_mode != "earliest":
+            # a state class covers every dense firing delay at once, so
+            # the discrete delay-enumeration modes have nothing to
+            # enumerate — rejecting them beats silently ignoring them
+            raise SchedulingError(
+                "delay_mode has no effect on the dense-time state-class "
+                "engine (the class graph covers every dense delay); "
+                "keep the default 'earliest'"
+            )
         if self.max_states < 1:
             raise SchedulingError("max_states must be positive")
         if self.max_seconds is not None and self.max_seconds <= 0:
@@ -99,6 +126,15 @@ class SchedulerConfig:
             raise SchedulingError(
                 f"unknown parallel mode {self.parallel_mode!r}; "
                 f"expected one of {PARALLEL_MODES}"
+            )
+        if (
+            self.parallel >= 2
+            and self.parallel_mode == "worksteal"
+            and self.engine != "incremental"
+        ):
+            raise SchedulingError(
+                "work-stealing mode requires the incremental engine "
+                "(the shared filter runs on FastState hashes)"
             )
         self.portfolio = tuple(self.portfolio)
         for entry in self.portfolio:

@@ -40,7 +40,7 @@ Search structure (matching the paper's description):
   is work-conserving first and urgency-driven second; the stop
   criterion is reaching ``M_F``.
 
-Two successor engines drive the expansion:
+Three successor engines drive the expansion:
 
 * ``engine="incremental"`` (default) — the
   :class:`~repro.tpn.fastengine.IncrementalEngine` hot path: O(degree)
@@ -50,7 +50,19 @@ Two successor engines drive the expansion:
 * ``engine="reference"`` — the checked-semantics
   :class:`~repro.tpn.state.StateEngine` with dense O(|T|·|P|) rescans,
   kept as the baseline the benchmarks and the CI smoke job
-  cross-validate against (identical schedules, identical state counts).
+  cross-validate against (identical schedules, identical state counts);
+* ``engine="stateclass"`` — the dense-time
+  :class:`~repro.tpn.stateclass.StateClassEngine`: states are
+  Berthomieu–Diaz state classes (marking + difference-bound matrix),
+  so every dense firing delay of a transition is one search edge
+  instead of one edge per integer delay.  On models with wide firing
+  intervals this collapses whole families of integer clock valuations
+  into single classes.  A feasible class path is *concretised* back to
+  integer firing times (:func:`repro.tpn.stateclass.
+  realize_firing_sequence`) and replayed through the checked reference
+  engine before being returned — the same contract the parallel
+  scheduler applies to worker wins — so the result is
+  verdict-equivalent to the discrete engines by construction.
 """
 
 from __future__ import annotations
@@ -59,20 +71,23 @@ import time
 
 from repro.errors import InfeasibleScheduleError, SchedulingError
 from repro.blocks.composer import ComposedModel
-from repro.scheduler.config import SchedulerConfig
+from repro.scheduler.config import ENGINES, SchedulerConfig
 from repro.scheduler.policies import make_reorder
 from repro.scheduler.result import SchedulerResult, SearchStats
 from repro.tpn.fastengine import FastState, IncrementalEngine
 from repro.tpn.interval import INF
 from repro.tpn.net import CompiledNet
 from repro.tpn.state import DISABLED, State, StateEngine
+from repro.tpn.stateclass import (
+    StateClass,
+    StateClassEngine,
+    realize_firing_sequence,
+)
 
 # check the wall clock every 1024 expansions; the budget is measured
 # on time.monotonic() — never the adjustable system clock — matching
 # the batch engine's timing
 _TIME_CHECK_MASK = 0x3FF
-
-ENGINES = ("incremental", "reference")
 
 
 class _Frame:
@@ -94,6 +109,19 @@ class _Frame:
         self.action = action
 
 
+class _DenseView:
+    """Clock-vector facade handed to reorder policies by the dense DFS.
+
+    Policies only read ``state.clocks``; a state class exposes a
+    surrogate vector (see ``PreRuntimeScheduler._dense_clocks``).
+    """
+
+    __slots__ = ("clocks",)
+
+    def __init__(self, clocks: tuple[int, ...]):
+        self.clocks = clocks
+
+
 class PreRuntimeScheduler:
     """Depth-first schedule synthesiser over a compiled net."""
 
@@ -101,20 +129,38 @@ class PreRuntimeScheduler:
         self,
         net: CompiledNet,
         config: SchedulerConfig | None = None,
-        engine: str = "incremental",
+        engine: str | None = None,
     ):
+        self.net = net
+        self.config = config or SchedulerConfig()
+        if engine is None:
+            engine = self.config.engine
         if engine not in ENGINES:
             raise SchedulingError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
             )
-        self.net = net
-        self.config = config or SchedulerConfig()
+        if (
+            engine == "stateclass"
+            and self.config.delay_mode != "earliest"
+        ):
+            raise SchedulingError(
+                "delay_mode has no effect on the dense-time state-class "
+                "engine (the class graph covers every dense delay); "
+                "keep the default 'earliest'"
+            )
         self.engine_mode = engine
         self.engine = StateEngine(
             net, reset_policy=self.config.reset_policy
         )
         self.fast = IncrementalEngine(
             net, reset_policy=self.config.reset_policy
+        )
+        self.dense = (
+            StateClassEngine(
+                net, reset_policy=self.config.reset_policy
+            )
+            if engine == "stateclass"
+            else None
         )
         # hoisted config knobs and net arrays (read once per candidate
         # set instead of per attribute hop in the hot loop)
@@ -152,6 +198,8 @@ class PreRuntimeScheduler:
         """Run the DFS; returns a result whether or not it succeeds."""
         if self.engine_mode == "incremental":
             return self._search_fast()
+        if self.engine_mode == "stateclass":
+            return self._search_stateclass()
         return self._search_reference()
 
     def search_from(self, root: FastState, now: int) -> SchedulerResult:
@@ -477,6 +525,254 @@ class PreRuntimeScheduler:
             exhausted=exhausted,
         )
 
+    def _search_stateclass(self) -> SchedulerResult:
+        """DFS on the dense-time state-class engine.
+
+        The loop mirrors :meth:`_search_reference` — same frames, same
+        tagging, same deadline pruning, same budget/tick polling, same
+        policy reordering — but a state is a Berthomieu–Diaz class, so
+        one edge covers *every* dense firing delay of a transition.
+        Frames therefore record only the fired transition: when a
+        final-marking class is reached, the firing sequence is
+        concretised to earliest integer firing times
+        (:func:`~repro.tpn.stateclass.realize_firing_sequence`) and
+        replayed through the checked reference engine before the
+        result is returned.
+        """
+        config = self.config
+        dense = self.dense
+        net = self.net
+        stats = SearchStats()
+        started = time.monotonic()
+        deadline = (
+            None
+            if config.max_seconds is None
+            else started + config.max_seconds
+        )
+
+        s0 = dense.initial_class()
+        if net.has_missed_deadline(s0.marking):
+            raise SchedulingError(
+                "initial marking already contains a missed deadline"
+            )
+        visited: set[StateClass] = {s0}
+        stats.states_visited = 1
+
+        if net.is_final(s0.marking):
+            stats.elapsed_seconds = time.monotonic() - started
+            return SchedulerResult(
+                feasible=True,
+                stats=stats,
+                config=config,
+                interval_schedule=[],
+            )
+
+        candidates_of = self._candidates_stateclass
+        reorder = self._reorder
+        if reorder is not None:
+            base_candidates = candidates_of
+            clocks_of = self._dense_clocks
+
+            def candidates_of(cls, stats):
+                return reorder(
+                    base_candidates(cls, stats), _DenseView(clocks_of(cls))
+                )
+
+        tick = self.tick
+        polled = deadline is not None or tick is not None
+        touches_miss = net.touches_miss
+        touches_final = net.touches_final
+
+        # Frame: [class, candidates, next_index, fired_transition]
+        stack: list[list] = [[s0, candidates_of(s0, stats), 0, None]]
+        exhausted = False
+
+        while stack:
+            frame = stack[-1]
+            cls, candidates, index = frame[0], frame[1], frame[2]
+            if index >= len(candidates):
+                stack.pop()
+                if stack:
+                    stats.backtracks += 1
+                continue
+            frame[2] = index + 1
+            transition, _lower = candidates[index]
+
+            stats.states_generated += 1
+            if polled and not stats.states_generated & _TIME_CHECK_MASK:
+                if deadline is not None and time.monotonic() > deadline:
+                    exhausted = True
+                    break
+                if tick is not None and tick(
+                    stats.states_visited,
+                    stats.states_generated,
+                    stats.revisits_skipped,
+                    stats.deadline_prunes,
+                    stats.backtracks,
+                ):
+                    exhausted = True
+                    break
+
+            child = dense._fire(cls, transition)
+            if child is None:
+                # candidates are pre-checked firable; an inconsistent
+                # successor would mean a DBM bug, but treat it as a
+                # dead end rather than crashing a long search
+                stats.deadline_prunes += 1
+                continue
+            if touches_miss[transition] and net.has_missed_deadline(
+                child.marking
+            ):
+                stats.deadline_prunes += 1
+                continue
+            if child in visited:
+                stats.revisits_skipped += 1
+                continue
+            visited.add(child)
+            stats.states_visited += 1
+
+            if touches_final[transition] and net.is_final(child.marking):
+                sequence = [f[3] for f in stack[1:]]
+                sequence.append(transition)
+                realized = realize_firing_sequence(
+                    net, sequence, config.reset_policy
+                )
+                # same reference-replay gate the parallel scheduler
+                # applies to worker wins (deferred import: parallel
+                # imports this module for its workers)
+                from repro.scheduler.parallel import (
+                    validate_with_reference,
+                )
+
+                validate_with_reference(
+                    net, config, realized.schedule
+                )
+                stats.elapsed_seconds = time.monotonic() - started
+                return SchedulerResult(
+                    feasible=True,
+                    firing_schedule=realized.schedule,
+                    stats=stats,
+                    config=config,
+                    interval_schedule=realized.windows,
+                )
+
+            if stats.states_visited >= config.max_states:
+                exhausted = True
+                break
+            stack.append(
+                [child, candidates_of(child, stats), 0, transition]
+            )
+
+        stats.elapsed_seconds = time.monotonic() - started
+        return SchedulerResult(
+            feasible=False,
+            stats=stats,
+            config=config,
+            exhausted=exhausted,
+        )
+
+    # ------------------------------------------------------------------
+    def _candidates_stateclass(
+        self, cls: StateClass, stats: SearchStats
+    ) -> list[tuple[int, int]]:
+        """Ordered ``(transition, dense lower bound)`` pairs of a class.
+
+        Firability and windows read straight off the canonical DBM
+        (see :meth:`~repro.tpn.stateclass.StateClassEngine.firable`);
+        deadline-miss transitions are never scheduled, but their LFT
+        rows still cap every window, so a forced miss empties the
+        candidate list and the branch dead-ends exactly like the
+        discrete engines.  Ordering matches the discrete candidate
+        rule: ``(lower bound, priority, index)``.
+        """
+        miss = self._miss
+        dbm = cls.dbm
+        size = len(cls.enabled) + 1
+        cands: list[tuple[int, int]] = []
+        for var, t in enumerate(cls.enabled, start=1):
+            if t in miss:
+                continue
+            for u in range(1, size):
+                if dbm[u][var] < 0:
+                    break
+            else:
+                cands.append((t, int(-dbm[0][var])))
+        if not cands:
+            return cands
+
+        priorities = self._priority
+        if self._strict:
+            best = min(priorities[t] for t, _lo in cands)
+            cands = [
+                (t, lo) for t, lo in cands if priorities[t] == best
+            ]
+
+        if self._partial_order and len(cands) > 1:
+            reduced = self._forced_immediate_dense(cls, cands)
+            if reduced is not None:
+                stats.reductions += 1
+                return [reduced]
+
+        if len(cands) == 1:
+            return cands
+        expanded = [(lower, priorities[t], t) for t, lower in cands]
+        expanded.sort()
+        return [(t, q) for q, _p, t in expanded]
+
+    def _forced_immediate_dense(
+        self, cls: StateClass, cands: list[tuple[int, int]]
+    ) -> tuple[int, int] | None:
+        """Partial-order reduction pick on a state class.
+
+        The dense analogue of :meth:`_independent_immediate`: a
+        candidate whose *own* firing bounds are exactly ``[0, 0]``
+        must fire at this very instant in every continuation (strong
+        semantics, and being conflict-free nothing can disable it
+        first), so if its postset also feeds no other enabled
+        transition, firing it alone is sound — the same
+        three-condition argument as the discrete reduction, with the
+        class's own upper bound taking the place of the zero dynamic
+        upper bound.  The bound must be the candidate's own
+        ``max θ_t``, not the strong-semantics window ceiling: a window
+        zeroed by *another* transition's LFT does not force ``t``,
+        which may legally fire later once that other transition goes
+        first.
+        """
+        net = self.net
+        conflict_free = net.conflict_free
+        post_conflicts = net.post_conflicts
+        enabled = set(cls.enabled)
+        dbm = cls.dbm
+        for t, lower in cands:
+            if lower != 0 or not conflict_free[t]:
+                continue
+            var = cls.enabled.index(t) + 1
+            if dbm[var][0] != 0:
+                continue  # not forced at this instant
+            for other in post_conflicts[t]:
+                if other in enabled:
+                    break  # an enabled transition consumes from t•
+            else:
+                return (t, 0)
+        return None
+
+    def _dense_clocks(self, cls: StateClass) -> tuple[int, ...]:
+        """Surrogate clock vector of a class for the reorder policies.
+
+        Reorder policies read ``state.clocks`` (min-laxity keys off the
+        deadline timer's remaining time).  A class has no single clock
+        valuation, but ``EFT(t) − lower(θ_t)`` is the time ``t`` has
+        provably been enabled, which is exactly the clock the policies
+        want; disabled transitions keep the :data:`DISABLED` marker.
+        """
+        clocks = [DISABLED] * self.net.num_transitions
+        eft = self._eft
+        row0 = cls.dbm[0]
+        for var, t in enumerate(cls.enabled, start=1):
+            elapsed = eft[t] + int(row0[var])  # eft − lower bound
+            clocks[t] = elapsed if elapsed > 0 else 0
+        return tuple(clocks)
+
     # ------------------------------------------------------------------
     def _candidates_fast(
         self, state: FastState, stats: SearchStats
@@ -745,7 +1041,7 @@ class PreRuntimeScheduler:
 def search(
     net: CompiledNet,
     config: SchedulerConfig | None = None,
-    engine: str = "incremental",
+    engine: str | None = None,
 ) -> SchedulerResult:
     """Synthesise a schedule for a compiled net.
 
@@ -753,6 +1049,8 @@ def search(
     in-process, ``>= 2`` hand the net to the
     :class:`~repro.scheduler.parallel.ParallelScheduler` (portfolio
     racing or work-stealing subtree search across worker processes).
+    ``engine=None`` uses ``config.engine``; an explicit argument
+    overrides it for this call.
     """
     config = config or SchedulerConfig()
     if config.parallel >= 2:
@@ -766,7 +1064,7 @@ def search(
 def find_schedule(
     model: ComposedModel,
     config: SchedulerConfig | None = None,
-    engine: str = "incremental",
+    engine: str | None = None,
 ) -> SchedulerResult:
     """Synthesise a schedule for a composed model.
 

@@ -67,8 +67,8 @@ from dataclasses import dataclass, field, replace
 from multiprocessing import get_context
 
 from repro.errors import SchedulingError
-from repro.scheduler.config import SchedulerConfig
-from repro.scheduler.dfs import ENGINES, PreRuntimeScheduler
+from repro.scheduler.config import ENGINES, SchedulerConfig
+from repro.scheduler.dfs import PreRuntimeScheduler
 from repro.scheduler.policies import (
     default_portfolio,
     parse_policy,
@@ -299,8 +299,10 @@ def validate_with_reference(
     admissible delay window under strong semantics) by
     :meth:`StateEngine.fire`, and the final marking must satisfy
     ``M_F``.  Raises :class:`SchedulingError` when the schedule is not
-    a legal feasible run — which would mean a parallel worker produced
-    garbage, so the error is loud rather than folded into a verdict.
+    a legal feasible run — which would mean the producing search (a
+    parallel worker, or the dense state-class concretisation, which
+    shares this gate) returned garbage, so the error is loud rather
+    than folded into a verdict.
     """
     engine = StateEngine(net, reset_policy=config.reset_policy)
     state = engine.initial_state()
@@ -311,13 +313,13 @@ def validate_with_reference(
         now += delay
         if now != at:
             raise SchedulingError(
-                f"parallel schedule timestamp mismatch at {name!r}: "
+                f"schedule timestamp mismatch at {name!r}: "
                 f"recorded {at}, replayed {now}"
             )
     if not net.is_final(state.marking):
         raise SchedulingError(
-            "parallel schedule does not reach the final marking "
-            "under the reference engine"
+            "schedule does not reach the final marking under the "
+            "reference engine"
         )
 
 
@@ -421,8 +423,10 @@ def _portfolio_worker(
             kind = "feasible"
         else:
             kind = "infeasible"
+        # feasible payload: the schedule plus the dense windows the
+        # stateclass engine attaches (None for the discrete engines)
         payload = (
-            list(result.firing_schedule)
+            (list(result.firing_schedule), result.interval_schedule)
             if result is not None and result.feasible
             else None
         )
@@ -535,10 +539,12 @@ class ParallelScheduler:
         self,
         net: CompiledNet,
         config: SchedulerConfig | None = None,
-        engine: str = "incremental",
+        engine: str | None = None,
     ):
         self.net = net
         self.config = config or SchedulerConfig()
+        if engine is None:
+            engine = self.config.engine
         if engine not in ENGINES:
             raise SchedulingError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
@@ -649,7 +655,8 @@ class ParallelScheduler:
             )
         kind, _index, policy, _stats, payload = winner
         if kind == "feasible":
-            schedule = [tuple(entry) for entry in payload]
+            raw_schedule, windows = payload
+            schedule = [tuple(entry) for entry in raw_schedule]
             validate_with_reference(self.net, config, schedule)
             return SchedulerResult(
                 feasible=True,
@@ -658,6 +665,11 @@ class ParallelScheduler:
                 config=config,
                 winner_policy=policy,
                 workers=len(workers),
+                interval_schedule=(
+                    None
+                    if windows is None
+                    else [tuple(entry) for entry in windows]
+                ),
             )
         return SchedulerResult(
             feasible=False,

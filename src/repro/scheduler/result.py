@@ -100,6 +100,12 @@ class SchedulerResult:
             produced the verdict (e.g. ``"random:1"``); ``None`` for
             serial and work-stealing searches.
         workers: worker processes used (1 for a serial search).
+        interval_schedule: dense-time companion of
+            ``firing_schedule``, set by the state-class engine only:
+            one ``(transition name, earliest, latest)`` entry per
+            firing giving the absolute dense window the firing time
+            was concretised from (``latest`` may be ``INF``).  ``None``
+            for the discrete engines.
     """
 
     feasible: bool
@@ -112,6 +118,7 @@ class SchedulerResult:
     minimum_firings: int | None = None
     winner_policy: str | None = None
     workers: int = 1
+    interval_schedule: list[tuple[str, int, float]] | None = None
 
     @property
     def schedule_length(self) -> int:

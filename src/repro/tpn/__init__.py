@@ -64,10 +64,12 @@ from repro.tpn.reachability import (
     reachable_markings,
 )
 from repro.tpn.stateclass import (
+    RealizedSchedule,
     StateClass,
     StateClassEngine,
     StateClassGraph,
     build_state_class_graph,
+    realize_firing_sequence,
 )
 from repro.tpn.state import (
     DISABLED,
@@ -107,6 +109,7 @@ __all__ = [
     "ReachabilityGraph",
     "Run",
     "State",
+    "RealizedSchedule",
     "StateClass",
     "StateClassEngine",
     "StateClassGraph",
@@ -129,5 +132,6 @@ __all__ = [
     "place_invariants",
     "reachability_to_dot",
     "reachable_markings",
+    "realize_firing_sequence",
     "transition_invariants",
 ]

@@ -1,23 +1,37 @@
-"""State-class graph construction (Berthomieu–Diaz).
+"""State-class graph construction and search support (Berthomieu–Diaz).
 
 The discrete-time TLTS of :mod:`repro.tpn.state` enumerates integer
 clock valuations; the classical *state-class* abstraction instead
 groups states by marking plus a difference-bound system over the firing
 times of enabled transitions, making the dense-time behaviour of a
-bounded TPN finite.  ezRealtime's scheduler does not need it (the
-paper's model is discrete-time), but a credible TPN substrate offers
-it: the class graph answers marking-reachability and firability
-questions independently of the discrete engine, and the test-suite uses
-that independence to cross-validate the firing rule (integer firing
-times are known to suffice for marking reachability in TPNs with
-integer bounds, so both explorations must see the same markings).
+bounded TPN finite.  The class graph answers marking-reachability and
+firability questions independently of the discrete engine, and — since
+PR 4 — drives the scheduler's third engine
+(``PreRuntimeScheduler(engine="stateclass")``): on models with wide
+firing intervals the discrete TLTS visits every integer clock
+valuation while one DBM covers them all, so searching classes shrinks
+the explored space by orders of magnitude.
 
 Implementation: a class is ``(marking, D)`` where ``D`` is a canonical
 difference-bound matrix (DBM) over ``θ_0 = 0`` and one variable per
 enabled transition, with ``D[i][j]`` bounding ``θ_i − θ_j``.  Firing
 ``t`` requires ``θ_t ≤ θ_u`` for every enabled ``u`` to stay
 satisfiable; successors keep persistent transitions' differences and
-give newly enabled ones their static intervals.
+give newly enabled ones their static intervals.  Because every added
+firing constraint points *into* the fired variable, firability and the
+dense firing window of a transition read directly off the canonical
+matrix (:meth:`StateClassEngine.firable`,
+:meth:`StateClassEngine.fire_window`) without re-closing it.
+
+The scheduler-facing half of this module concretises a class-graph
+path back to integer time: :func:`realize_firing_sequence` rebuilds
+the exact difference-constraint system of the timed run (enabling
+episodes per clock-reset policy, EFT lower bounds, strong-semantics
+LFT caps), solves it for the earliest integer firing dates, and
+reports per-firing dense windows ``[earliest, latest]`` — the
+Berthomieu–Diaz soundness theorem guarantees the system is satisfiable
+for any path of the class graph, and integer bounds make the least
+solution integral.
 """
 
 from __future__ import annotations
@@ -28,13 +42,24 @@ from dataclasses import dataclass, field
 from repro.errors import SchedulingError
 from repro.tpn.interval import INF
 from repro.tpn.net import CompiledNet
+from repro.tpn.state import RESET_POLICIES
 
-#: Matrix entries are integers or INF.
-Bound = float
+#: Matrix entries are integers or :data:`INF` (``math.inf``).  The
+#: alias admits ``float`` only for the INF sentinel: every finite bound
+#: is an ``int`` (static intervals are integral and the closure only
+#: adds finite integers), and :func:`_canonical` guards INF operands so
+#: no arithmetic can smuggle a spurious finite float in.
+Bound = int | float
 
 
 def _canonical(matrix: list[list[Bound]]) -> list[list[Bound]] | None:
-    """Floyd–Warshall closure; ``None`` when inconsistent."""
+    """Floyd–Warshall closure; ``None`` when inconsistent.
+
+    INF propagation guard: a path through an unbounded entry is no
+    path at all, so both operands are checked *before* the addition —
+    ``INF + bound`` (or worse, ``INF − INF = nan``) can never reach a
+    cell and every finite entry stays an exact integer.
+    """
     n = len(matrix)
     dist = [row[:] for row in matrix]
     for k in range(n):
@@ -42,12 +67,13 @@ def _canonical(matrix: list[list[Bound]]) -> list[list[Bound]] | None:
         for i in range(n):
             d_ik = dist[i][k]
             if d_ik == INF:
-                continue
+                continue  # no finite path i -> k: nothing to relax
             row_i = dist[i]
             for j in range(n):
-                if row_k[j] == INF:
-                    continue
-                candidate = d_ik + row_k[j]
+                d_kj = row_k[j]
+                if d_kj == INF:
+                    continue  # guard the second operand too
+                candidate = d_ik + d_kj
                 if candidate < row_i[j]:
                     row_i[j] = candidate
     for i in range(n):
@@ -100,10 +126,26 @@ class StateClassGraph:
 
 
 class StateClassEngine:
-    """Constructs state classes for a compiled net."""
+    """Constructs state classes for a compiled net.
 
-    def __init__(self, net: CompiledNet):
+    ``reset_policy`` selects which transitions count as *persistent*
+    across a firing (keeping their accumulated bounds) and mirrors the
+    discrete engines: ``"paper"`` compares the full markings before and
+    after the firing, ``"intermediate"`` additionally requires
+    enabledness at the intermediate marking ``m − W(·, t)`` (a
+    transition that loses its tokens to the firing and regains them
+    from the output arcs is newly enabled and gets its static interval
+    back).
+    """
+
+    def __init__(self, net: CompiledNet, reset_policy: str = "paper"):
+        if reset_policy not in RESET_POLICIES:
+            raise SchedulingError(
+                f"unknown reset policy {reset_policy!r}; "
+                f"expected one of {RESET_POLICIES}"
+            )
         self.net = net
+        self.reset_policy = reset_policy
 
     # ------------------------------------------------------------------
     def initial_class(self) -> StateClass:
@@ -141,16 +183,56 @@ class StateClassEngine:
 
     # ------------------------------------------------------------------
     def firable(self, cls: StateClass) -> list[int]:
-        """Transitions firable from the class (dense-time semantics)."""
+        """Transitions firable from the class (dense-time semantics).
+
+        ``t`` may fire first iff adding ``θ_t ≤ θ_u`` for every enabled
+        ``u`` keeps the DBM satisfiable.  All added edges point into
+        ``t``'s variable, so any new negative cycle uses exactly one of
+        them — the check collapses to a column scan of the canonical
+        matrix: firable iff ``D[u][t] ≥ 0`` for every ``u``.
+        """
+        dbm = cls.dbm
+        size = len(cls.enabled) + 1
         result = []
-        for t in cls.enabled:
-            if self._fire(cls, t, check_only=True) is not None:
+        for var, t in enumerate(cls.enabled, start=1):
+            for u in range(1, size):
+                if dbm[u][var] < 0:
+                    break
+            else:
                 result.append(t)
         return result
 
+    def fire_window(
+        self, cls: StateClass, transition: int
+    ) -> tuple[int, Bound] | None:
+        """Dense window of relative times at which ``transition`` can
+        fire *next* from this class, or ``None`` when it cannot.
+
+        The lower end is the transition's own earliest time (the added
+        ``θ_t ≤ θ_u`` edges leave no path out of ``t``, so its lower
+        bound cannot tighten); the upper end additionally respects
+        every other enabled transition's latest time (paths routed
+        through the added edges), i.e. the strong-semantics ceiling.
+        """
+        try:
+            var = cls.enabled.index(transition) + 1
+        except ValueError:
+            return None
+        dbm = cls.dbm
+        size = len(cls.enabled) + 1
+        upper = dbm[var][0]
+        for u in range(1, size):
+            if dbm[u][var] < 0:
+                return None
+            bound = dbm[u][0]
+            if bound < upper:
+                upper = bound
+        lower = -dbm[0][var]
+        return (lower, upper)
+
     def fire(self, cls: StateClass, transition: int) -> StateClass:
         """Successor class after firing ``transition``."""
-        successor = self._fire(cls, transition, check_only=False)
+        successor = self._fire(cls, transition)
         if successor is None:
             raise SchedulingError(
                 f"transition "
@@ -160,7 +242,7 @@ class StateClassEngine:
         return successor
 
     def _fire(
-        self, cls: StateClass, transition: int, check_only: bool
+        self, cls: StateClass, transition: int
     ) -> StateClass | None:
         if transition not in cls.enabled:
             return None
@@ -174,8 +256,6 @@ class StateClassEngine:
         closed = _canonical(matrix)
         if closed is None:
             return None
-        if check_only:
-            return cls
 
         # new marking
         marking = list(cls.marking)
@@ -185,13 +265,9 @@ class StateClassEngine:
 
         old_enabled = cls.enabled
         new_enabled = tuple(self._enabled(new_marking))
-        # persistence per the paper's rule: enabled before and after,
-        # and not the fired transition itself
-        persistent = {
-            t
-            for t in new_enabled
-            if t in old_enabled and t != transition
-        }
+        persistent = self._persistent(
+            cls.marking, new_enabled, old_enabled, transition
+        )
         new_size = len(new_enabled) + 1
         fresh: list[list[Bound]] = [
             [INF] * new_size for _ in range(new_size)
@@ -226,12 +302,47 @@ class StateClassEngine:
             tuple(tuple(row) for row in final),
         )
 
+    def _persistent(
+        self,
+        old_marking: tuple[int, ...],
+        new_enabled: tuple[int, ...],
+        old_enabled: tuple[int, ...],
+        transition: int,
+    ) -> set[int]:
+        """Transitions that keep their accumulated firing bounds.
+
+        ``"paper"`` (Definition 3.1 read on full markings): enabled
+        before and after, and not the fired transition itself.
+        ``"intermediate"``: additionally enabled at ``m − W(·, t)``.
+        """
+        persistent = {
+            t
+            for t in new_enabled
+            if t in old_enabled and t != transition
+        }
+        if self.reset_policy == "intermediate" and persistent:
+            intermediate = list(old_marking)
+            for place, weight in self.net.pre[transition]:
+                intermediate[place] -= weight
+            pre = self.net.pre
+            survivors = set()
+            for t in persistent:
+                for place, weight in pre[t]:
+                    if intermediate[place] < weight:
+                        break
+                else:
+                    survivors.add(t)
+            persistent = survivors
+        return persistent
+
 
 def build_state_class_graph(
-    net: CompiledNet, max_classes: int = 10_000
+    net: CompiledNet,
+    max_classes: int = 10_000,
+    reset_policy: str = "paper",
 ) -> StateClassGraph:
     """Enumerate the state-class graph up to ``max_classes``."""
-    engine = StateClassEngine(net)
+    engine = StateClassEngine(net, reset_policy=reset_policy)
     graph = StateClassGraph()
     initial = engine.initial_class()
     graph.classes.append(initial)
@@ -242,7 +353,7 @@ def build_state_class_graph(
         i = frontier.popleft()
         cls = graph.classes[i]
         for t in engine.firable(cls):
-            successor = engine._fire(cls, t, check_only=False)
+            successor = engine._fire(cls, t)
             if successor is None:
                 continue
             j = graph.index.get(successor)
@@ -257,3 +368,207 @@ def build_state_class_graph(
                 frontier.append(j)
             graph.edges[i].append((t, j))
     return graph
+
+
+# ----------------------------------------------------------------------
+# Concretisation: from a class-graph path back to integer time
+# ----------------------------------------------------------------------
+@dataclass
+class RealizedSchedule:
+    """A class-graph path made concrete.
+
+    ``schedule`` carries the scheduler's usual
+    ``(transition name, delay, absolute time)`` triples — the earliest
+    integer realisation of the dense run, ready for the reference
+    replay, schedule extraction and code generation.  ``windows``
+    pairs every firing with its dense absolute window
+    ``(name, earliest, latest)``: the projection of the run's firing-
+    date polyhedron on that firing (``latest`` is :data:`INF` when
+    nothing ever forces it).
+    """
+
+    schedule: list[tuple[str, int, int]]
+    windows: list[tuple[str, int, Bound]]
+
+
+def _sequence_constraints(
+    net: CompiledNet, sequence: list[int], reset_policy: str
+):
+    """Difference constraints of the timed run firing ``sequence``.
+
+    Returns ``(lower_at, uppers)`` over firing dates ``τ_0 = 0,
+    τ_1..τ_n``: ``lower_at[k] = (e, eft)`` encodes ``τ_k ≥ τ_e + eft``
+    (the fired transition's EFT against its enabling step) and each
+    ``(k, e, lft)`` in ``uppers`` encodes ``τ_k ≤ τ_e + lft`` (strong
+    semantics: no step may overrun an armed transition's LFT).  Per
+    enabling episode only the *last* armed step is emitted — firing
+    dates are monotone, so it implies the earlier ones.
+    """
+    if reset_policy not in RESET_POLICIES:
+        raise SchedulingError(
+            f"unknown reset policy {reset_policy!r}; "
+            f"expected one of {RESET_POLICIES}"
+        )
+    pre = net.pre
+    eft = net.eft
+    lft = net.lft
+    num_transitions = net.num_transitions
+    intermediate_policy = reset_policy == "intermediate"
+
+    def enabled_in(marking: list[int], t: int) -> bool:
+        for place, weight in pre[t]:
+            if marking[place] < weight:
+                return False
+        return True
+
+    marking = list(net.m0)
+    enabled_since: dict[int, int] = {
+        t: 0 for t in range(num_transitions) if enabled_in(marking, t)
+    }
+    lower_at: list[tuple[int, int]] = [(0, 0)]  # 1-indexed; slot 0 unused
+    uppers: list[tuple[int, int, int]] = []
+
+    for step, fired in enumerate(sequence, start=1):
+        if fired not in enabled_since:
+            raise SchedulingError(
+                f"sequence fires disabled transition "
+                f"{net.transition_names[fired]!r} at step {step}"
+            )
+        lower_at.append((enabled_since[fired], eft[fired]))
+
+        if intermediate_policy:
+            intermediate = list(marking)
+            for place, weight in pre[fired]:
+                intermediate[place] -= weight
+        for place, delta in net.delta[fired]:
+            marking[place] += delta
+
+        survivors: dict[int, int] = {}
+        for u, since in enabled_since.items():
+            persists = (
+                u != fired
+                and enabled_in(marking, u)
+                and (
+                    not intermediate_policy
+                    or enabled_in(intermediate, u)
+                )
+            )
+            if persists:
+                survivors[u] = since
+            else:
+                # episode ends at this step: u was armed in the
+                # pre-marking, so step `step` must respect its LFT
+                if lft[u] != INF:
+                    uppers.append((step, since, int(lft[u])))
+        enabled_since = survivors
+        for u in range(num_transitions):
+            if u not in enabled_since and enabled_in(marking, u):
+                enabled_since[u] = step
+
+    # episodes still open after the last firing constrained it too
+    n = len(sequence)
+    for u, since in enabled_since.items():
+        if since < n and lft[u] != INF:
+            uppers.append((n, since, int(lft[u])))
+    return lower_at, uppers
+
+
+def _least_times(
+    n: int,
+    lower_at: list[tuple[int, int]],
+    uppers: list[tuple[int, int, int]],
+) -> list[int]:
+    """Earliest integer firing dates satisfying the constraints.
+
+    Chaotic iteration of the monotone repair operators: a forward
+    sweep raises each date to its lower bounds, an upper-bound sweep
+    raises the *enabling* date of any overrun LFT (delaying the
+    enabling is the only way to relax the cap).  Every repair is the
+    minimum any solution must satisfy, so values never overshoot the
+    least solution; Bellman–Ford's bound makes ``n + 2`` full passes a
+    proof of a negative cycle — impossible for a genuine class-graph
+    path, hence the loud error.
+    """
+    tau = [0] * (n + 1)
+    for _ in range(n + 2):
+        changed = False
+        for k in range(1, n + 1):
+            e, bound = lower_at[k]
+            value = tau[k - 1]
+            lower = tau[e] + bound
+            if lower > value:
+                value = lower
+            if value > tau[k]:
+                tau[k] = value
+                changed = True
+        for k, e, cap in uppers:
+            need = tau[k] - cap
+            if need > tau[e]:
+                tau[e] = need
+                changed = True
+        if not changed:
+            return tau
+    raise SchedulingError(
+        "firing sequence admits no integer timing (inconsistent "
+        "difference system) — the state-class path is unsound"
+    )
+
+
+def _greatest_times(
+    n: int,
+    lower_at: list[tuple[int, int]],
+    uppers: list[tuple[int, int, int]],
+) -> list[Bound]:
+    """Latest firing dates (``INF`` where nothing forces a firing)."""
+    tau: list[Bound] = [INF] * (n + 1)
+    tau[0] = 0
+    for _ in range(n + 2):
+        changed = False
+        for k, e, cap in uppers:
+            if tau[e] != INF:
+                bound = tau[e] + cap
+                if bound < tau[k]:
+                    tau[k] = bound
+                    changed = True
+        for k in range(n, 0, -1):
+            value = tau[k]
+            if value == INF:
+                continue
+            if value < tau[k - 1]:
+                tau[k - 1] = value
+                changed = True
+            e, bound = lower_at[k]
+            cap = value - bound
+            if cap < tau[e]:
+                tau[e] = cap
+                changed = True
+        if not changed:
+            break
+    return tau
+
+
+def realize_firing_sequence(
+    net: CompiledNet, sequence: list[int], reset_policy: str = "paper"
+) -> RealizedSchedule:
+    """Concretise a class-graph firing sequence to integer time.
+
+    Builds the run's difference-constraint system (per the clock-reset
+    policy), solves it for the earliest integer firing dates and the
+    dense per-firing windows, and returns the scheduler-shaped
+    triples.  Raises :class:`SchedulingError` when the sequence is
+    structurally or temporally infeasible — which a path of a
+    correctly built state-class graph never is.
+    """
+    lower_at, uppers = _sequence_constraints(net, sequence, reset_policy)
+    n = len(sequence)
+    earliest = _least_times(n, lower_at, uppers)
+    latest = _greatest_times(n, lower_at, uppers)
+    names = net.transition_names
+    schedule: list[tuple[str, int, int]] = []
+    windows: list[tuple[str, int, Bound]] = []
+    for k, fired in enumerate(sequence, start=1):
+        schedule.append(
+            (names[fired], earliest[k] - earliest[k - 1], earliest[k])
+        )
+        windows.append((names[fired], earliest[k], latest[k]))
+    return RealizedSchedule(schedule=schedule, windows=windows)

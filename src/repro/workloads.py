@@ -22,6 +22,8 @@ import random
 from repro.errors import SpecificationError
 from repro.spec.builder import SpecBuilder
 from repro.spec.model import EzRTSpec
+from repro.tpn.interval import TimeInterval
+from repro.tpn.net import TimePetriNet
 
 #: Divisor-friendly period grid (pairwise LCM ≤ 6000).
 PERIOD_GRID = (20, 25, 40, 50, 100, 125, 200, 250, 500, 1000)
@@ -171,6 +173,94 @@ def hard_portfolio_task_set(scale: int = 2) -> EzRTSpec:
     return time_scaled_task_set(
         base, scale, name=f"portfolio-hard-x{scale}"
     )
+
+
+def wide_interval_job_net(
+    n_jobs: int = 3,
+    width: int = 6,
+    computations: tuple[int, ...] = (1, 2, 2),
+    release_offsets: tuple[int, ...] = (0, 1, 2),
+    feasible: bool = True,
+    name: str | None = None,
+) -> TimePetriNet:
+    """A job-shop TPN whose release transitions have *wide* intervals.
+
+    This is the workload family the dense-time state-class engine is
+    built for.  ``n_jobs`` one-shot jobs share a single processor:
+    each job is released within a wide window
+    ``[offset_i, offset_i + width]``, grabs the processor through an
+    immediate grant, computes for ``computations[i]`` time units and
+    releases it.  The desired final marking is "every job done, the
+    processor returned".
+
+    The discrete-time TLTS of this net grows with ``width`` — every
+    integer release time is a distinct clock valuation — while the
+    state-class graph is *width-independent* (one DBM covers a whole
+    release window), which is exactly the states-explored gap
+    ``benchmarks/bench_stateclass.py`` gates on.
+
+    ``feasible=False`` adds an unreachable sentinel place to the final
+    marking, turning the synthesis into an exhaustive refutation: both
+    engines must then sweep their entire space, making the state
+    counts directly comparable.
+    """
+    if n_jobs < 1:
+        raise SpecificationError("need at least one job")
+    if width < 0:
+        raise SpecificationError("release window width must be >= 0")
+    net = TimePetriNet(
+        name or f"wide-interval-n{n_jobs}-w{width}"
+    )
+    net.add_place("proc", marking=1)
+    for i in range(n_jobs):
+        computation = computations[i % len(computations)]
+        offset = release_offsets[i % len(release_offsets)]
+        net.add_place(f"ready{i}", marking=1)
+        net.add_place(f"pend{i}")
+        net.add_place(f"run{i}")
+        net.add_place(f"done{i}")
+        net.add_transition(
+            f"release{i}", TimeInterval(offset, offset + width)
+        )
+        net.add_transition(f"grant{i}", TimeInterval(0, 0))
+        net.add_transition(
+            f"compute{i}", TimeInterval(computation, computation)
+        )
+        net.add_arc(f"ready{i}", f"release{i}")
+        net.add_arc(f"release{i}", f"pend{i}")
+        net.add_arc(f"pend{i}", f"grant{i}")
+        net.add_arc("proc", f"grant{i}")
+        net.add_arc(f"grant{i}", f"run{i}")
+        net.add_arc(f"run{i}", f"compute{i}")
+        net.add_arc(f"compute{i}", f"done{i}")
+        net.add_arc(f"compute{i}", "proc")
+    final = {f"done{i}": 1 for i in range(n_jobs)}
+    final["proc"] = 1
+    if not feasible:
+        net.add_place("never")
+        final["never"] = 1
+    net.set_final_marking(final)
+    return net
+
+
+def wide_interval_family(
+    widths: tuple[int, ...] = (4, 6, 8),
+    n_jobs: int = 3,
+    feasible: bool = False,
+):
+    """The bench's wide-interval sweep: one net per window width.
+
+    Yields ``(label, TimePetriNet)`` pairs with every non-width
+    parameter held fixed, so state counts across the family isolate
+    the cost of interval width alone.
+    """
+    for width in widths:
+        yield (
+            f"n{n_jobs}-w{width}",
+            wide_interval_job_net(
+                n_jobs=n_jobs, width=width, feasible=feasible
+            ),
+        )
 
 
 def campaign_task_sets(

@@ -186,6 +186,57 @@ class TestCacheKey:
             != BatchJob(spec=spec, timeout=2.0).key()
         )
 
+    def test_engine_changes_key(self):
+        """Regression: engine selection must be part of the key.
+
+        Before v3 the fingerprint hashed every scheduler knob *except*
+        the engine, so reference/incremental/stateclass runs collided
+        on one cache entry despite differing stats and schedule
+        shapes.
+        """
+        spec = fig3_precedence()
+        options = ComposerOptions()
+        keys = {
+            cache_key(spec, options, SchedulerConfig(engine=engine))
+            for engine in ("incremental", "reference", "stateclass")
+        }
+        assert len(keys) == 3
+
+    def test_v2_entries_miss_cleanly(self, tmp_path):
+        """A pre-engine (v2) cache entry is never served under v3."""
+        import hashlib
+
+        from repro.batch.cache import (
+            CACHE_FORMAT_VERSION,
+            job_fingerprint,
+        )
+
+        assert CACHE_FORMAT_VERSION == 3
+        spec = fig3_precedence()
+        options, config = ComposerOptions(), SchedulerConfig()
+        document = job_fingerprint(spec, options, config)
+        # reconstruct the v2 layout: old version tag, no engine field
+        document["v"] = 2
+        del document["scheduler"]["engine"]
+        v2_key = hashlib.sha256(
+            json.dumps(
+                document, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+        ).hexdigest()
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put(v2_key, {"status": "feasible", "stale": True})
+        engine = BatchEngine(max_workers=1, cache=cache)
+        result = engine.run([spec])
+        # the stale payload must not be replayed: the job executed
+        assert result.stats.cache_hits == 0
+        assert result.stats.cache_misses == 1
+        assert result.outcomes[0].status == STATUS_FEASIBLE
+        assert "stale" not in result.outcomes[0].to_dict().get(
+            "meta", {}
+        )
+        assert result.outcomes[0].key != v2_key
+
 
 class TestResultCache:
     def test_hit_miss_accounting(self, tmp_path):
@@ -295,6 +346,69 @@ class TestBatchEngine:
         assert "elapsed_seconds" not in json.dumps(row)
         assert row["status"] == STATUS_FEASIBLE
         assert row["search"]["states_visited"] > 0
+
+
+class TestCoreBudget:
+    def test_pool_shrinks_within_budget(self):
+        engine = BatchEngine(
+            scheduler_config=SchedulerConfig(parallel=2),
+            max_workers=8,
+            cores=8,
+        )
+        assert engine.max_workers == 4
+        assert engine.scheduler_config.parallel == 2
+        assert not engine.parallel_clamped
+
+    def test_intra_job_parallel_clamped_to_cores(self):
+        """Regression: cores=2 with parallel=4 used to oversubscribe.
+
+        The pool clamped to one worker but each job still spawned four
+        intra-job processes — more busy processes than the promised
+        core budget.  The intra-job width must come down to the budget
+        and the clamp must be visible in the stats.
+        """
+        engine = BatchEngine(
+            scheduler_config=SchedulerConfig(parallel=4),
+            max_workers=4,
+            cores=2,
+        )
+        assert engine.scheduler_config.parallel == 2
+        assert engine.max_workers == 1
+        assert engine.parallel_clamped
+        # busy processes = pool width x intra-job workers <= cores
+        assert engine.max_workers * max(
+            1, engine.scheduler_config.parallel
+        ) <= 2
+
+        result = engine.run([fig3_precedence()])
+        assert result.stats.parallel_clamped
+        assert result.stats.intra_parallel == 2
+        assert result.outcomes[0].status == STATUS_FEASIBLE
+        assert "clamped to 2" in result.summary()
+
+    def test_single_core_budget_forces_serial_search(self):
+        engine = BatchEngine(
+            scheduler_config=SchedulerConfig(parallel=4),
+            max_workers=4,
+            cores=1,
+        )
+        assert engine.scheduler_config.parallel == 1  # serial search
+        assert engine.max_workers == 1
+        assert engine.parallel_clamped
+
+    def test_clamp_reflected_in_stats_dict(self):
+        engine = BatchEngine(
+            scheduler_config=SchedulerConfig(parallel=4),
+            max_workers=2,
+            cores=2,
+        )
+        stats = engine.run([fig3_precedence()]).stats.as_dict()
+        assert stats["intra_parallel"] == 2
+        assert stats["parallel_clamped"] is True
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            BatchEngine(cores=0)
 
 
 class TestCampaign:

@@ -129,6 +129,40 @@ class TestSchedule:
         )
         assert "feasible" in capsys.readouterr().out
 
+    def test_engine_flag_stateclass(self, capsys, small_spec_file):
+        assert (
+            main(
+                [
+                    "schedule",
+                    small_spec_file,
+                    "--engine",
+                    "stateclass",
+                    "--profile",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "feasible" in out
+        assert "dense firing windows" in out
+        assert "dense window" in out
+
+    def test_stateclass_rejects_delay_modes(self, capsys, small_spec_file):
+        assert (
+            main(
+                [
+                    "schedule",
+                    small_spec_file,
+                    "--engine",
+                    "stateclass",
+                    "--delay-mode",
+                    "full",
+                ]
+            )
+            == 2
+        )
+        assert "delay_mode" in capsys.readouterr().err
+
     def test_infeasible_exit_code(self, tmp_path, capsys):
         from repro.spec import SpecBuilder
 

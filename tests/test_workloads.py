@@ -181,3 +181,46 @@ class TestTimeScaling:
             (t.name, t.computation, t.deadline, t.period)
             for t in second.tasks
         ]
+
+
+class TestWideIntervalFamily:
+    def test_structure_and_final_marking(self):
+        from repro.workloads import wide_interval_job_net
+
+        net = wide_interval_job_net(n_jobs=3, width=6)
+        compiled = net.compile()
+        # one release/grant/compute triple per job plus the processor
+        assert compiled.num_transitions == 9
+        assert compiled.final_constraints
+        release = compiled.transition_index["release0"]
+        assert compiled.interval_of(release).width == 6
+
+    def test_feasible_and_refutation_variants(self):
+        from repro.scheduler import SchedulerConfig
+        from repro.scheduler.dfs import search
+        from repro.workloads import wide_interval_job_net
+
+        feasible = wide_interval_job_net(feasible=True).compile()
+        result = search(feasible, SchedulerConfig())
+        assert result.feasible
+
+        refutation = wide_interval_job_net(feasible=False).compile()
+        result = search(refutation, SchedulerConfig())
+        assert not result.feasible and not result.exhausted
+
+    def test_family_is_width_sweep(self):
+        from repro.workloads import wide_interval_family
+
+        members = list(wide_interval_family(widths=(2, 4)))
+        assert [label for label, _net in members] == [
+            "n3-w2",
+            "n3-w4",
+        ]
+
+    def test_invalid_parameters(self):
+        from repro.workloads import wide_interval_job_net
+
+        with pytest.raises(SpecificationError):
+            wide_interval_job_net(n_jobs=0)
+        with pytest.raises(SpecificationError):
+            wide_interval_job_net(width=-1)
