@@ -20,6 +20,22 @@ workload/strategy pairings are measured end-to-end (compose + compile
    multi-core host this curve shows wall-clock scaling too; on the
    single-core CI box only the parity and bounded-work properties are
    gated.
+3. **Mixed-engine portfolio on the wide-interval race model**
+   (:func:`repro.workloads.wide_interval_race_net`, ISSUE 5): a
+   ``stateclass:earliest`` slot races the discrete hot path under a
+   delay-enumerating configuration.  The discrete state space grows
+   with the release-window width while the class graph does not, so
+   the dense slot must win the race (gated) — the dense-aware
+   portfolio the ROADMAP asked for.  The winning slot is recorded per
+   row (``winner_slot``), which is what
+   :meth:`repro.scheduler.adaptive.AdaptiveStore.warm_start_from_bench`
+   reads to seed future rotations.
+4. **Refactor no-regression gate** (ISSUE 5): the aggregate states/sec
+   of the refactored incremental adapter, re-measured on the hot-path
+   bench's workloads, must stay within
+   :data:`MAX_HOTPATH_REGRESSION` of the checked-in
+   ``BENCH_scheduler.json`` baseline — the EngineAdapter indirection
+   is not allowed to tax the hot loop.
 
 Results land in ``BENCH_parallel.json`` at the repository root; CI
 uploads it as an artifact, so the speedup trajectory is tracked PR
@@ -31,11 +47,21 @@ from __future__ import annotations
 import json
 import os
 import platform
+import sys
 import time
 
 from repro.blocks import compose
-from repro.scheduler import SchedulerConfig, find_schedule
-from repro.workloads import hard_portfolio_task_set, random_task_set
+from repro.scheduler import (
+    PreRuntimeScheduler,
+    SchedulerConfig,
+    find_schedule,
+    search,
+)
+from repro.workloads import (
+    hard_portfolio_task_set,
+    random_task_set,
+    wide_interval_race_net,
+)
 
 #: Acceptance gate (ISSUE 3): `ezrt schedule --parallel 4` must beat
 #: the serial search end-to-end by at least this factor on the hard
@@ -48,11 +74,25 @@ MIN_SPEEDUP_AT_4 = 1.8
 #: serial visited count on an exhaustive (infeasible) search.
 MAX_WORKSTEAL_WORK_RATIO = 1.25
 
+#: Refactor no-regression floor (ISSUE 5): the incremental adapter's
+#: re-measured aggregate states/sec must be at least this fraction of
+#: the checked-in ``BENCH_scheduler.json`` aggregate.
+MAX_HOTPATH_REGRESSION = 0.95
+
 WORKER_CURVE = (2, 4)
 ROUNDS = 2
 
 JSON_PATH = os.path.join(
     os.path.dirname(__file__), "..", "BENCH_parallel.json"
+)
+#: Fresh local hot-path artifact (untracked; preferred when present)…
+SCHEDULER_BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_scheduler.json"
+)
+#: …and the tracked pre-refactor snapshot the gate falls back to on a
+#: clean checkout (frozen aggregate, see the file's "note" field).
+FROZEN_BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "BASELINE_scheduler.json"
 )
 
 
@@ -136,9 +176,170 @@ def _worksteal_curve():
     }
 
 
+def _mixed_engine_curve():
+    """Race the dense state-class slot against the discrete hot path.
+
+    The wide-interval race net is exhaustively infeasible under a
+    complete (delay-enumerating) search: the discrete engine refutes
+    it by visiting every integer release time, the dense slot by a
+    width-independent class sweep — first definitive verdict wins.
+    The stateclass slot must win (ISSUE 5 acceptance gate).
+    """
+    net = wide_interval_race_net().compile()
+    serial_config = SchedulerConfig(delay_mode="full")
+    times = []
+    serial = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        serial = search(net, serial_config)
+        times.append(time.perf_counter() - started)
+    serial_s = min(times)
+    assert not serial.feasible and not serial.exhausted
+
+    config = SchedulerConfig(
+        delay_mode="full",
+        parallel=2,
+        portfolio=("incremental:earliest", "stateclass:earliest"),
+    )
+    rows = []
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        result = search(net, config)
+        seconds = time.perf_counter() - started
+        assert result.feasible == serial.feasible
+        assert not result.exhausted
+        rows.append(
+            {
+                "workers": 2,
+                "seconds": seconds,
+                "speedup": serial_s / seconds,
+                "winner_policy": result.winner_policy,
+                "winner_engine": result.winner_engine,
+                "winner_slot": (
+                    f"{result.winner_engine}:{result.winner_policy}"
+                ),
+                "states_visited": result.stats.states_visited,
+            }
+        )
+    return {
+        "model": net.name,
+        "mode": "portfolio",
+        "flavour": "mixed-engine",
+        "serial_seconds": serial_s,
+        "serial_states_visited": serial.stats.states_visited,
+        "feasible": serial.feasible,
+        "curve": rows,
+    }
+
+
+def _hotpath_workloads():
+    """The hot-path bench's workload sweep, imported from its module."""
+    bench_dir = os.path.dirname(os.path.abspath(__file__))
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    from bench_scheduler_hotpath import _workloads
+
+    return list(_workloads())
+
+
+def _baseline_rate():
+    """``(states/sec, source)`` of the stored incremental baseline.
+
+    Prefers a fresh local ``BENCH_scheduler.json`` (per-row sums, the
+    hot-path bench's last run on this machine); falls back to the
+    tracked pre-refactor snapshot ``BASELINE_scheduler.json`` on a
+    clean checkout, so the gate also runs in CI.
+    """
+    path = os.path.abspath(SCHEDULER_BASELINE_PATH)
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        rows = baseline.get("rows", [])
+        if rows:
+            states = sum(r["states_visited"] for r in rows)
+            seconds = sum(r["incremental_seconds"] for r in rows)
+            return states / seconds, _baseline_source(
+                "BENCH_scheduler.json", baseline
+            )
+    frozen = os.path.abspath(FROZEN_BASELINE_PATH)
+    if os.path.exists(frozen):
+        with open(frozen, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        return baseline["states_per_sec"], _baseline_source(
+            "benchmarks/BASELINE_scheduler.json", baseline
+        )
+    return None, None
+
+
+def _baseline_source(path: str, baseline: dict) -> dict:
+    """Provenance of a stored baseline + whether it is comparable.
+
+    Absolute states/sec is only meaningful against a baseline recorded
+    on the same interpreter line and architecture — a rate frozen
+    under another Python minor or on different hardware says nothing
+    about a refactor.  The gate hard-asserts only when ``comparable``;
+    otherwise the ratio is still measured and recorded in the JSON so
+    the trajectory stays visible.
+    """
+    stored = str(baseline.get("python") or "")
+    current = platform.python_version()
+    same_python = (
+        stored.split(".")[:2] == current.split(".")[:2]
+    )
+    same_machine = baseline.get("machine") in (
+        None,
+        platform.machine(),
+    )
+    return {
+        "path": path,
+        "python": stored or None,
+        "machine": baseline.get("machine"),
+        "comparable": same_python and same_machine,
+    }
+
+
+def _hotpath_regression():
+    """Re-measure the incremental adapter against the stored baseline.
+
+    Returns ``None`` only when neither baseline file exists.  The
+    measurement mirrors the hot-path bench's method — same workloads,
+    min-of-N timing — so the two aggregates are comparable like for
+    like.
+    """
+    stored_rate, source = _baseline_rate()
+    if stored_rate is None:
+        return None
+
+    measured_states = 0
+    measured_seconds = 0.0
+    for _name, spec, _family in _hotpath_workloads():
+        net = compose(spec).compiled()
+        scheduler = PreRuntimeScheduler(
+            net, SchedulerConfig(), engine="incremental"
+        )
+        result = scheduler.search()  # warm-up
+        times = []
+        for _ in range(3):
+            started = time.perf_counter()
+            scheduler.search()
+            times.append(time.perf_counter() - started)
+        measured_states += result.stats.states_visited
+        measured_seconds += min(times)
+    measured_rate = measured_states / measured_seconds
+    return {
+        "baseline_states_per_sec": stored_rate,
+        "measured_states_per_sec": measured_rate,
+        "ratio": measured_rate / stored_rate,
+        "floor": MAX_HOTPATH_REGRESSION,
+        "baseline_source": source,
+    }
+
+
 def test_parallel_dfs(report):
     portfolio = _portfolio_curve()
     worksteal = _worksteal_curve()
+    mixed = _mixed_engine_curve()
+    regression = _hotpath_regression()
     at4 = next(
         row for row in portfolio["curve"] if row["workers"] == 4
     )
@@ -150,7 +351,8 @@ def test_parallel_dfs(report):
         "rounds": ROUNDS,
         "min_speedup_at_4": MIN_SPEEDUP_AT_4,
         "target_met": at4["speedup"] >= MIN_SPEEDUP_AT_4,
-        "results": [portfolio, worksteal],
+        "results": [portfolio, worksteal, mixed],
+        "hotpath_regression": regression,
     }
     with open(os.path.abspath(JSON_PATH), "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
@@ -176,6 +378,21 @@ def test_parallel_dfs(report):
             f"<= {MAX_WORKSTEAL_WORK_RATIO}",
             f"{row['work_ratio']:.2f}",
         )
+    for row in mixed["curve"]:
+        report(
+            "PD1",
+            f"mixed-engine race on {mixed['model']}",
+            "stateclass slot wins",
+            f"{row['winner_slot']} ({row['speedup']:.2f}x)",
+        )
+    if regression is not None:
+        report(
+            "PD1",
+            "incremental adapter vs BENCH_scheduler.json",
+            f">= {MAX_HOTPATH_REGRESSION:.2f}x baseline",
+            f"{regression['ratio']:.2f}x "
+            f"({regression['measured_states_per_sec']:,.0f} states/s)",
+        )
 
     # -- gates --------------------------------------------------------
     assert at4["speedup"] >= MIN_SPEEDUP_AT_4, (
@@ -187,6 +404,26 @@ def test_parallel_dfs(report):
             "work stealing duplicated too much exploration: "
             f"{row['work_ratio']:.2f}x serial at "
             f"{row['workers']} workers"
+        )
+    # ISSUE 5: a stateclass slot must win the wide-interval race —
+    # the engine-aware portfolio's reason to exist
+    for row in mixed["curve"]:
+        assert row["winner_engine"] == "stateclass", (
+            f"the dense slot lost the wide-interval race to "
+            f"{row['winner_slot']}"
+        )
+    # ISSUE 5: the EngineAdapter refactor may not tax the hot loop.
+    # Hard-assert only against a comparable baseline (same Python
+    # line, same architecture) — an alien host's absolute rate proves
+    # nothing either way; the ratio is recorded in the JSON regardless
+    if regression is not None and regression["baseline_source"].get(
+        "comparable"
+    ):
+        assert regression["ratio"] >= MAX_HOTPATH_REGRESSION, (
+            "incremental adapter regressed vs the pre-refactor "
+            f"BENCH_scheduler.json baseline: {regression['ratio']:.2f}x "
+            f"({regression['measured_states_per_sec']:,.0f} vs "
+            f"{regression['baseline_states_per_sec']:,.0f} states/s)"
         )
 
 

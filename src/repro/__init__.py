@@ -62,9 +62,11 @@ from repro.errors import (
     TraceVerificationError,
 )
 from repro.scheduler import (
+    AdaptiveStore,
     ParallelScheduler,
     SchedulerConfig,
     SchedulerResult,
+    SearchCore,
     TaskLevelSchedule,
     default_portfolio,
     find_schedule,
@@ -97,11 +99,13 @@ from repro.workloads import (
     random_task_set_with_relations,
     time_scaled_task_set,
     uunifast,
+    wide_interval_race_net,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdaptiveStore",
     "BatchEngine",
     "BatchJob",
     "BatchResult",
@@ -125,6 +129,7 @@ __all__ = [
     "ParallelScheduler",
     "SchedulerConfig",
     "SchedulerResult",
+    "SearchCore",
     "SchedulingError",
     "SchedulingType",
     "SimulationError",
@@ -157,4 +162,5 @@ __all__ = [
     "simulate_runtime",
     "uunifast",
     "verify_trace",
+    "wide_interval_race_net",
 ]

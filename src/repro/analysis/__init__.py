@@ -10,6 +10,7 @@ from repro.analysis.gantt import render_gantt, render_instance_table
 from repro.analysis.report import (
     campaign_report,
     full_report,
+    interval_slack_report,
     schedule_report,
     search_report,
     spec_report,
@@ -37,6 +38,7 @@ __all__ = [
     "edf_feasible",
     "energy_report",
     "full_report",
+    "interval_slack_report",
     "liu_layland_bound",
     "max_tolerable_overhead",
     "necessary_feasible",

@@ -16,8 +16,13 @@ from repro.analysis.utilization import (
 )
 from repro.blocks.composer import ComposedModel
 from repro.scheduler.result import SchedulerResult
-from repro.scheduler.schedule import TaskLevelSchedule
+from repro.scheduler.schedule import (
+    TaskLevelSchedule,
+    dense_schedule_entries,
+    format_dense_schedule,
+)
 from repro.spec.timing import check_harmonic
+from repro.tpn.interval import INF
 
 
 def spec_report(model: ComposedModel) -> str:
@@ -74,6 +79,39 @@ def schedule_report(
         lines.append(
             render_gantt(model, schedule.segments, 0, window)
         )
+    return "\n".join(lines)
+
+
+def interval_slack_report(
+    result: SchedulerResult, limit: int | None = None
+) -> str:
+    """Dense-window table with per-firing slack (stateclass engine).
+
+    For every firing of a state-class result the table shows the
+    concrete integer firing time, the absolute dense window
+    ``[earliest, latest]`` it was picked from and the firing's
+    **slack** — ``latest − earliest``, the scheduling freedom the
+    dense run leaves at that step (``inf`` when nothing ever forces
+    it).  A rigid firing (slack 0) is pinned by the model; positive
+    slack marks where a deployment could still shift work (jitter
+    absorption, energy idling) without breaking any constraint.  The
+    summary line totals the finite slack so schedules can be compared
+    by how much freedom they retain.  Rendered by ``ezrt schedule
+    --engine stateclass --profile``.
+    """
+    entries = dense_schedule_entries(result)
+    lines = [format_dense_schedule(entries, limit=limit, slack=True)]
+    finite = [
+        int(e.latest) - e.earliest for e in entries if e.latest != INF
+    ]
+    unbounded = len(entries) - len(finite)
+    total = (
+        f"total slack      : {sum(finite)} time unit(s) over "
+        f"{len(entries)} firing(s)"
+    )
+    if unbounded:
+        total += f", {unbounded} unbounded"
+    lines.append(total)
     return "\n".join(lines)
 
 

@@ -21,6 +21,12 @@ parent, ships the misses to a ``ProcessPoolExecutor`` (or runs them
 inline when ``max_workers <= 1`` — the serial baseline the throughput
 bench compares against), and returns a :class:`BatchResult` whose
 outcome list preserves submission order regardless of completion order.
+Misses are dispatched **hardest-first** by default — ordered by the
+predicted search states of each job's model family (the same
+fingerprint scheme the adaptive portfolio uses,
+:mod:`repro.scheduler.adaptive`) so one huge job starts early instead
+of serialising the pool's tail; the ordering affects completion order
+only, never the outcomes or the JSONL bytes.
 
 Timeouts are cooperative: the per-job budget is folded into the DFS
 scheduler's ``max_seconds`` and checked inside the worker, so a timed
@@ -44,10 +50,17 @@ from repro.batch.job import (
     BatchJob,
     JobOutcome,
     STATUS_ERROR,
+    STATUS_FEASIBLE,
+    STATUS_INFEASIBLE,
     STATUSES,
     execute_job,
 )
 from repro.blocks.composer import ComposerOptions
+from repro.scheduler.adaptive import (
+    AdaptiveStore,
+    predict_states,
+    spec_family,
+)
 from repro.scheduler.config import SchedulerConfig
 from repro.spec.model import EzRTSpec
 
@@ -81,6 +94,10 @@ class BatchStats:
     #: True when the requested intra-job `parallel` exceeded the
     #: `cores` budget and was clamped down to it
     parallel_clamped: bool = False
+    #: True when executed jobs were dispatched hardest-first (ordered
+    #: by predicted states per model-family fingerprint); ordering
+    #: changes completion order only, never outcomes or JSONL content
+    hardest_first: bool = False
 
     @property
     def jobs_per_second(self) -> float:
@@ -120,6 +137,7 @@ class BatchStats:
             "workers": self.workers,
             "intra_parallel": self.intra_parallel,
             "parallel_clamped": self.parallel_clamped,
+            "hardest_first": self.hardest_first,
         }
 
 
@@ -179,6 +197,10 @@ class BatchResult:
                 f"intra-job parallel clamped to {s.intra_parallel} "
                 "worker(s) to respect the cores budget"
             )
+        if s.hardest_first:
+            parts.append(
+                "jobs dispatched hardest-first (predicted states)"
+            )
         return "\n".join(parts)
 
 
@@ -209,6 +231,19 @@ class BatchEngine:
             applies to jobs built from bare specifications through
             this engine's config; prepared :class:`BatchJob` objects
             carry their own configs unchanged.
+        hardest_first: dispatch executed jobs in descending order of
+            predicted search states (the adaptive hardness estimate
+            keyed by the job's model-family fingerprint — the same
+            fingerprint scheme the adaptive portfolio uses).  Starting
+            the stragglers first stops one huge job from serialising
+            the pool's tail.  Purely a *dispatch* order: outcomes,
+            JSONL rows and cache behaviour stay in submission order
+            and byte-identical either way (regression-tested).
+        adaptive: an :class:`~repro.scheduler.adaptive.AdaptiveStore`
+            refining the hardness prediction with recorded per-family
+            visited counts; executed outcomes are recorded back into
+            it after the run.  ``None`` falls back to the pure
+            heuristic.
     """
 
     def __init__(
@@ -223,6 +258,8 @@ class BatchEngine:
         simulate: bool = False,
         store_schedules: bool = False,
         cores: int | None = None,
+        hardest_first: bool = True,
+        adaptive: AdaptiveStore | None = None,
     ):
         self.composer_options = composer_options or ComposerOptions()
         self.scheduler_config = scheduler_config or SchedulerConfig()
@@ -252,6 +289,8 @@ class BatchEngine:
         self.codegen_target = codegen_target
         self.simulate = simulate
         self.store_schedules = store_schedules
+        self.hardest_first = hardest_first
+        self.adaptive = adaptive
 
     # ------------------------------------------------------------------
     def make_job(
@@ -318,6 +357,19 @@ class BatchEngine:
                 followers.setdefault(leader, []).append(index)
                 stats.deduplicated += 1
 
+        if self.hardest_first and len(pending) > 1:
+            # hardest-first dispatch: predicted states per job (the
+            # adaptive store's per-family mean when recorded, else the
+            # heuristic), descending; ties keep submission order so
+            # the permutation is deterministic.  Only the *execution*
+            # order changes — `outcomes` is indexed by submission.
+            predicted = {
+                index: self._predicted_states(jobs[index])
+                for index in pending
+            }
+            pending.sort(key=lambda index: (-predicted[index], index))
+            stats.hardest_first = True
+
         if pending:
             if self.max_workers <= 1 or len(pending) == 1:
                 for index in pending:
@@ -340,6 +392,20 @@ class BatchEngine:
                 # (killed worker, broken pool) rather than a property
                 # of the model
                 self.cache.put(outcome.key, outcome.to_dict())
+            if self.adaptive is not None and outcome.status in (
+                STATUS_FEASIBLE,
+                STATUS_INFEASIBLE,
+            ):
+                # errors are environmental; timeout counts are
+                # budget-truncated and would bias the family's mean
+                # *below* easy families, inverting hardest-first for
+                # exactly the jobs it exists to front-load
+                self.adaptive.record_job(
+                    spec_family(jobs[index].spec),
+                    outcome.search.get("states_visited", 0),
+                )
+        if self.adaptive is not None and pending:
+            self.adaptive.save()
 
         stats.wall_seconds = time.monotonic() - started
         executed = set(pending)
@@ -359,6 +425,15 @@ class BatchEngine:
                 stats.job_seconds += outcome.elapsed_seconds
             result_outcomes.append(outcome)
         return BatchResult(outcomes=result_outcomes, stats=stats)
+
+    def _predicted_states(self, job: BatchJob) -> float:
+        """Hardness estimate of one job (store-refined heuristic)."""
+        fallback = predict_states(job.spec)
+        if self.adaptive is None:
+            return fallback
+        return self.adaptive.predicted_states(
+            spec_family(job.spec), fallback
+        )
 
     @staticmethod
     def _replay(payload: dict, job: BatchJob) -> JobOutcome:

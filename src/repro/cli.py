@@ -27,7 +27,11 @@ import argparse
 import sys
 
 from repro.errors import EzRealtimeError
-from repro.analysis import campaign_report, full_report
+from repro.analysis import (
+    campaign_report,
+    full_report,
+    interval_slack_report,
+)
 from repro.batch import BatchEngine, CampaignGrid, ResultCache
 from repro.blocks import BlockStyle, ComposerOptions, compose
 from repro.codegen import TARGETS, generate_project
@@ -35,9 +39,7 @@ from repro.pnml import save as pnml_save
 from repro.scheduler import (
     ENGINES,
     SchedulerConfig,
-    dense_schedule_entries,
     find_schedule,
-    format_dense_schedule,
     schedule_from_result,
 )
 from repro.sim import run_schedule, verify_trace
@@ -177,11 +179,13 @@ def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--portfolio",
         default=None,
-        metavar="P1,P2,...",
+        metavar="S1,S2,...",
         help=(
-            "comma-separated policies to race (e.g. "
-            "earliest,random:1,min-laxity,latest); default: a "
-            "built-in rotation sized to --parallel"
+            "comma-separated slots to race, each [engine:]policy"
+            "[:seed] (e.g. earliest,random:1,stateclass:earliest); "
+            "an engine prefix races successor engines as well as "
+            "orderings, unprefixed slots inherit --engine; default: "
+            "a built-in rotation sized to --parallel"
         ),
     )
 
@@ -229,11 +233,11 @@ def _cmd_schedule(args) -> int:
     if args.profile:
         print("\nsearch profile:\n" + result.stats.profile())
         if result.interval_schedule is not None:
+            # per-firing dense window + slack column, with the
+            # total-slack summary line (scheduling freedom left)
             print(
                 "\ndense firing windows (stateclass engine):\n"
-                + format_dense_schedule(
-                    dense_schedule_entries(result), limit=40
-                )
+                + interval_slack_report(result, limit=40)
             )
     return 0
 
@@ -337,6 +341,7 @@ def _cmd_batch(args) -> int:
         codegen_target=args.target,
         simulate=args.simulate,
         cores=args.cores,
+        hardest_first=not args.no_hardest_first,
     )
     jobs = [
         engine.make_job(_load_spec(ref), meta={"source": ref})
@@ -490,6 +495,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="per-job schedule-search budget in seconds",
+    )
+    p.add_argument(
+        "--no-hardest-first",
+        action="store_true",
+        help=(
+            "dispatch jobs in submission order instead of "
+            "hardest-first (by predicted search states); either way "
+            "the JSONL rows keep submission order"
+        ),
     )
     p.add_argument(
         "--cache-dir",

@@ -37,8 +37,13 @@ the ablation benches sweep:
   independent policies and the first definitive verdict wins;
   ``"worksteal"`` splits the root frontier into subtree jobs that
   workers drain against a shared visited filter) and ``portfolio``
-  (explicit policy list for the race; empty picks the default
+  (explicit slot list for the race; empty picks the default
   rotation of :func:`repro.scheduler.policies.default_portfolio`).
+  A portfolio slot is ``"[engine:]policy[:seed]"`` — prefixing a
+  policy with an engine name races successor *engines* as well as
+  orderings (e.g. ``("incremental:earliest", "stateclass:earliest")``
+  pits the dense state-class search against the discrete hot path on
+  wide-interval models); unprefixed slots inherit ``engine``.
 """
 
 from __future__ import annotations
@@ -136,6 +141,11 @@ class SchedulerConfig:
                 "work-stealing mode requires the incremental engine "
                 "(the shared filter runs on FastState hashes)"
             )
+        from repro.scheduler.policies import parse_slot
+
         self.portfolio = tuple(self.portfolio)
         for entry in self.portfolio:
-            parse_policy(entry)  # raises on unknown names/bad seeds
+            # raises on unknown engines/policies/bad seeds; a slot may
+            # prefix its policy with an engine ("stateclass:earliest")
+            # to race engines as well as orderings
+            parse_slot(entry)

@@ -1,0 +1,847 @@
+"""Generic depth-first search core: one loop, one adapter per engine.
+
+**Overview for new contributors.**  Before this module existed the
+repository implemented the paper's pre-runtime search three times —
+once per successor engine, each copy re-stating the tagging, deadline
+pruning, budget/tick polling and policy reordering.  The duplication
+is gone: :class:`SearchCore` is the *single* DFS loop, parameterized
+over the :class:`EngineAdapter` protocol, and the three engines plug
+in through thin adapters:
+
+* :class:`IncrementalAdapter` — the production hot path over
+  :class:`~repro.tpn.fastengine.IncrementalEngine` (O(degree)
+  successors, queue-extracted candidate windows);
+* :class:`ReferenceAdapter` — the measured baseline over the checked
+  :class:`~repro.tpn.state.StateEngine` (dense O(|T|·|P|) rescans,
+  dense candidate scans over all of T);
+* :class:`StateClassAdapter` — the dense-time engine over
+  :class:`~repro.tpn.stateclass.StateClassEngine` (Berthomieu–Diaz
+  classes; feasible paths are concretised back to integer time and
+  replayed through the reference engine).
+
+The split of responsibilities is strict: the adapter knows *states*
+(how to compute a root, successors, candidates, and how to turn a
+finished path into a schedule); the core knows *search* (the stack,
+tagging, pruning, budgets, cooperative cancellation, the shared
+visited filter and the policy reordering).  Orchestration layers —
+the portfolio racer, the work-stealing partitioner, the batch engine —
+treat every engine uniformly through this protocol, the way Real-Time
+Maude and e-Motions keep one formal analysis core under several
+modeling front-ends.
+
+Behaviour-preserving parity is the refactor's contract: for every
+engine the core produces the same verdicts, the same visited-state
+counts and the same deterministic :class:`SearchStats` counters as the
+three pre-refactor loops (pinned by ``tests/test_refactor_parity.py``
+on the paper models and a seeded task-set grid, under both clock-reset
+policies).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+from repro.errors import SchedulingError
+from repro.scheduler.result import SchedulerResult, SearchStats
+from repro.tpn.fastengine import FastState, IncrementalEngine
+from repro.tpn.interval import INF
+from repro.tpn.net import CompiledNet
+from repro.tpn.state import DISABLED, State, StateEngine
+from repro.tpn.stateclass import (
+    StateClass,
+    StateClassEngine,
+    realize_firing_sequence,
+)
+
+# check the wall clock every 1024 expansions; the budget is measured
+# on time.monotonic() — never the adjustable system clock — matching
+# the batch engine's timing
+_TIME_CHECK_MASK = 0x3FF
+
+
+class _Frame:
+    """One DFS stack entry (slotted: the stack is the hot data path)."""
+
+    __slots__ = ("state", "now", "candidates", "index", "action")
+
+    def __init__(
+        self,
+        state: object,
+        now: int,
+        candidates: list[tuple[int, int]],
+        action: tuple[int, int, int] | None = None,
+    ):
+        self.state = state
+        self.now = now
+        self.candidates = candidates
+        self.index = 0
+        self.action = action
+
+
+class _DenseView:
+    """Clock-vector facade handed to reorder policies by the dense DFS.
+
+    Policies only read ``state.clocks``; a state class exposes a
+    surrogate vector (see :meth:`StateClassAdapter.clocks_view`).
+    """
+
+    __slots__ = ("clocks",)
+
+    def __init__(self, clocks: tuple[int, ...]):
+        self.clocks = clocks
+
+
+@runtime_checkable
+class EngineAdapter(Protocol):
+    """What :class:`SearchCore` needs from a successor engine.
+
+    An adapter wraps one engine instance (plus the hoisted config and
+    net vectors its candidate enumeration reads) and presents the
+    uniform surface the shared DFS loop drives:
+
+    * ``name`` — the engine's registry name (``"incremental"``,
+      ``"reference"``, ``"stateclass"``);
+    * ``engine`` — the wrapped engine instance (orchestration layers
+      reach through for engine-specific plumbing such as
+      :meth:`~repro.tpn.fastengine.IncrementalEngine.revive`);
+    * ``touches_miss`` / ``touches_final`` — the compiled
+      marking-predicate skip masks (identical semantics for every
+      adapter: a predicate can only change when the fired transition
+      touches the relevant places, so skipping is exact, not a
+      heuristic);
+    * ``deadline_missed(marking)`` / ``reached_final(marking)`` — the
+      compiled marking predicates themselves.
+
+    States are opaque to the core; the only requirements are hashable
+    identity (for the visited set) and a ``.marking`` attribute (for
+    the two predicates).
+    """
+
+    name: str
+    engine: object
+    touches_miss: tuple[bool, ...]
+    touches_final: tuple[bool, ...]
+
+    def root(self) -> tuple[object, int]:
+        """``(root state, absolute time at the root)``."""
+
+    def successor(self, state, transition: int, delay: int):
+        """The child state, or ``None`` for an inconsistent dead end
+        (only the dense engine can produce one; the core counts it as
+        a deadline prune rather than crashing a long search)."""
+
+    def candidates_of(self, state, stats: SearchStats) -> list:
+        """Ordered ``(transition, delay)`` pairs of a state, after the
+        priority filter, the partial-order reduction (counted on
+        ``stats.reductions``) and the delay-policy expansion."""
+
+    def state_key(self, state) -> int:
+        """64-bit compaction key for the cross-process visited filter
+        (hash-compacted claims; full-equality tagging stays local)."""
+
+    def clocks_view(self, state):
+        """The object reorder policies read ``.clocks`` from."""
+
+    def deadline_missed(self, marking) -> bool: ...
+
+    def reached_final(self, marking) -> bool: ...
+
+    def finalize_path(
+        self, actions: list[tuple[int, int, int]], stats: SearchStats
+    ) -> tuple[list[tuple[str, int, int]], list | None]:
+        """Turn the accepting path into the result payload.
+
+        ``actions`` are ``(transition, delay, absolute time)`` triples
+        in firing order.  Returns ``(firing_schedule,
+        interval_schedule)``; the dense adapter concretises the class
+        path to integer time and replays it through the checked
+        reference engine here, so a feasible dense verdict leaves the
+        core already validated.
+        """
+
+
+# ----------------------------------------------------------------------
+# Shared candidate machinery
+# ----------------------------------------------------------------------
+def forced_immediate(
+    net: CompiledNet,
+    cands: list[tuple[int, int]],
+    clocks: tuple[int, ...],
+) -> tuple[int, int] | None:
+    """Partial-order reduction pick shared by both discrete adapters.
+
+    A candidate may soundly be fired without branching when it is
+    *structurally conflict-free* (every input place is consumed by this
+    transition only, so its firing can never steal a token from any
+    other transition — now or in the future) and it fires with zero
+    delay, so no clock advances and every alternative stays fireable
+    afterwards.  Three conditions make firing ``t`` alone sound:
+
+    * ``t`` is *forced now*: its dynamic upper bound is zero, so
+      strong semantics fires it at this very instant in every
+      continuation — and the zero ceiling means every other candidate
+      is also zero-delay, so no time passes either way;
+    * ``t`` is structurally conflict-free, so no interleaving can
+      disable it and it can disable nothing;
+    * ``t``'s postset avoids the preset of every other currently
+      enabled transition: producing into a place another enabled
+      transition consumes from does not commute at the *clock* level.
+      The boundary case is an instance completing exactly when the
+      next one arrives — the arrival (producing the deadline-timer
+      token) and the finish (consuming the old one) must be
+      interleaved both ways, because only finish-then-arrival lets the
+      deadline clock reset.  The check walks the precomputed (small)
+      :attr:`CompiledNet.post_conflicts` set and reads enabledness
+      straight off the clock vector.
+
+    Earlier revisions also reduced merely-eager candidates under the
+    earliest-delay policy; that loses real schedules (eagerly releasing
+    a task forecloses interleavings where another task's arrival
+    advances time first), so only forced firings reduce.
+    """
+    conflict_free = net.conflict_free
+    post_conflicts = net.post_conflicts
+    lft = net.lft
+    for t, lower in cands:
+        if lower != 0 or not conflict_free[t]:
+            continue
+        if lft[t] == INF or lft[t] - clocks[t] > 0:
+            continue  # not forced at this instant
+        for other in post_conflicts[t]:
+            if clocks[other] >= 0:
+                break  # an enabled transition consumes from t•
+        else:
+            return (t, 0)
+    return None
+
+
+def order_and_expand(
+    cands: list[tuple[int, int]],
+    ceiling: float,
+    priorities: tuple[int, ...],
+    delay_mode: str,
+) -> list[tuple[int, int]]:
+    """Delay-policy expansion + the ``(delay, priority, index)`` sort.
+
+    ``"earliest"`` keeps each candidate at its lower bound; the
+    enumeration modes add the window ceiling (``"extremes"``) or every
+    integer delay up to it (``"full"``).  An unbounded ceiling always
+    collapses to earliest-only (there is nothing finite to enumerate).
+    """
+    if delay_mode == "earliest" or ceiling == INF:
+        if len(cands) == 1:
+            return cands
+        expanded = [(lower, priorities[t], t) for t, lower in cands]
+        expanded.sort()
+        return [(t, q) for q, _p, t in expanded]
+    expanded = []
+    for t, lower in cands:
+        if delay_mode == "extremes":
+            upper = int(ceiling)
+            delays = (lower,) if upper == lower else (lower, upper)
+        else:  # full
+            delays = tuple(range(lower, int(ceiling) + 1))
+        for q in delays:
+            expanded.append((q, priorities[t], t))
+    expanded.sort()
+    return [(t, q) for q, _p, t in expanded]
+
+
+class _AdapterBase:
+    """Config/net knobs every adapter hoists once per search."""
+
+    def __init__(self, net: CompiledNet, config):
+        self.net = net
+        self.config = config
+        self._strict = config.priority_mode == "strict"
+        self._delay_mode = config.delay_mode
+        self._earliest = config.delay_mode == "earliest"
+        self._partial_order = config.partial_order
+        self._eft = net.eft
+        self._lft = net.lft
+        self._priority = net.priority
+        self._miss = net.miss_transitions
+        self.touches_miss = net.touches_miss
+        self.touches_final = net.touches_final
+        self.deadline_missed = net.has_missed_deadline
+        self.reached_final = net.is_final
+
+    def state_key(self, state) -> int:
+        return hash(state)
+
+    def clocks_view(self, state):
+        return state
+
+    def finalize_path(self, actions, stats):
+        names = self.net.transition_names
+        return [(names[t], q, at) for t, q, at in actions], None
+
+
+class IncrementalAdapter(_AdapterBase):
+    """The production hot path over :class:`IncrementalEngine`."""
+
+    name = "incremental"
+
+    def __init__(self, net: CompiledNet, config):
+        super().__init__(net, config)
+        self.engine = IncrementalEngine(
+            net, reset_policy=config.reset_policy
+        )
+        # bound method, not a wrapper: the core hoists it into a local
+        self.successor = self.engine.successor
+        self._root: FastState | None = None
+        self._root_now = 0
+
+    def set_root(self, root: FastState | None, now: int) -> None:
+        """Inject a subtree root (work-stealing); ``None`` resets."""
+        self._root = root
+        self._root_now = now
+
+    def root(self) -> tuple[FastState, int]:
+        if self._root is not None:
+            return self._root, self._root_now
+        return self.engine.initial(), 0
+
+    def state_key(self, state: FastState) -> int:
+        return state._hash
+
+    def candidates_of(
+        self, state: FastState, stats: SearchStats
+    ) -> list[tuple[int, int]]:
+        """Ordered ``(transition, delay)`` pairs — queue extraction.
+
+        Reads the ceiling in O(1) from the state's derived views and
+        extracts the firing window as a prefix of the lower-bound
+        queue, so the per-expansion cost tracks the number of
+        *fireable* transitions rather than the size of the net.
+        """
+        miss = self._miss
+        shift = state.shift
+        imms = state.imms
+
+        # O(1) ceiling: enabled immediates pin it to 0, otherwise the
+        # upper-bound queue head holds min DUB (INF when empty); the
+        # window is then a prefix of the lower-bound queue — no pass
+        # over the enabled set at all
+        if imms:
+            ceiling = 0
+            bound = shift
+            cands = [(t, 0) for t in imms if t not in miss]
+        else:
+            tub = state.tub
+            ceiling = tub[0][0] - shift if tub else INF
+            bound = shift + ceiling
+            cands = []
+        for v, tk in state.tlb:
+            if v > bound:
+                break
+            if tk not in miss:
+                lower = v - shift
+                cands.append((tk, lower if lower > 0 else 0))
+        if not cands:
+            return cands
+        cands.sort()
+
+        # specialised common path: earliest-delay, no strict filter —
+        # one candidate needs no ordering at all, several sort by
+        # (delay, priority, index)
+        if self._earliest and not self._strict:
+            if len(cands) == 1:
+                return cands
+            if self._partial_order:
+                reduced = forced_immediate(
+                    self.net, cands, state.clocks
+                )
+                if reduced is not None:
+                    stats.reductions += 1
+                    return [reduced]
+            priority = self._priority
+            expanded = [
+                (lower, priority[t], t) for t, lower in cands
+            ]
+            expanded.sort()
+            return [(t, q) for q, _p, t in expanded]
+        return self._finalize(cands, ceiling, state.clocks, stats)
+
+    def _finalize(
+        self,
+        cands: list[tuple[int, int]],
+        ceiling: float,
+        clocks: tuple[int, ...],
+        stats: SearchStats,
+    ) -> list[tuple[int, int]]:
+        """Priority filter, partial-order reduction, delay expansion."""
+        priorities = self._priority
+        if self._strict:
+            best = min(priorities[t] for t, _lo in cands)
+            cands = [
+                (t, lo) for t, lo in cands if priorities[t] == best
+            ]
+        if self._partial_order and len(cands) > 1:
+            reduced = forced_immediate(self.net, cands, clocks)
+            if reduced is not None:
+                stats.reductions += 1
+                cands = [reduced]
+        return order_and_expand(
+            cands, ceiling, priorities, self._delay_mode
+        )
+
+
+class ReferenceAdapter(_AdapterBase):
+    """The measured baseline over the checked :class:`StateEngine`.
+
+    Candidate enumeration is deliberately kept as two dense passes
+    over the whole transition set per expansion (the pre-incremental
+    scheduler's cost model), and successors pay the engine's dense
+    O(|T|·|P|) firing rule — this is the honest baseline the hot-path
+    benchmark measures the incremental adapter against, and the fixed
+    point the equivalence suites compare to.  Unlike the deleted
+    pre-PR-2 verbatim loop it *does* share the core's loop mechanics
+    (slotted frames, marking-predicate skip masks) — a deliberate
+    baseline redefinition: the engines differ only in their cost
+    model, so the speedup the bench reports is the successor/candidate
+    asymptotics, not incidental loop-body differences.  (The skip
+    masks are exact, so counters and verdicts are unchanged — only
+    wall-clock moved, and the bench's floors held.)
+    """
+
+    name = "reference"
+
+    def __init__(self, net: CompiledNet, config):
+        super().__init__(net, config)
+        self.engine = StateEngine(
+            net, reset_policy=config.reset_policy
+        )
+        self.successor = self.engine._fire_unchecked
+
+    def root(self) -> tuple[State, int]:
+        return self.engine.initial_state(), 0
+
+    def candidates_of(
+        self, state: State, stats: SearchStats
+    ) -> list[tuple[int, int]]:
+        """Reference candidate enumeration: dense scans over all of T."""
+        eft = self._eft
+        lft = self._lft
+        clocks = state.clocks
+
+        ceiling = INF
+        for t, clock in enumerate(clocks):
+            if clock == DISABLED or lft[t] == INF:
+                continue
+            bound = lft[t] - clock
+            if bound < ceiling:
+                ceiling = bound
+
+        miss = self._miss
+        cands: list[tuple[int, int]] = []
+        for t, clock in enumerate(clocks):
+            if clock == DISABLED or t in miss:
+                continue
+            lower = eft[t] - clock
+            if lower < 0:
+                lower = 0
+            if lower <= ceiling:
+                cands.append((t, lower))
+        if not cands:
+            return []
+
+        priorities = self._priority
+        if self._strict:
+            best = min(priorities[t] for t, _lo in cands)
+            cands = [
+                (t, lo) for t, lo in cands if priorities[t] == best
+            ]
+        if self._partial_order and len(cands) > 1:
+            reduced = forced_immediate(self.net, cands, clocks)
+            if reduced is not None:
+                stats.reductions += 1
+                cands = [reduced]
+        return order_and_expand(
+            cands, ceiling, priorities, self._delay_mode
+        )
+
+
+class StateClassAdapter(_AdapterBase):
+    """The dense-time engine over :class:`StateClassEngine`.
+
+    A state is a Berthomieu–Diaz class, so one search edge covers
+    *every* dense firing delay of a transition; candidate delays are
+    the dense lower bounds (used for ordering only).  A feasible class
+    path is concretised back to integer firing times and replayed
+    through the checked reference engine in :meth:`finalize_path` —
+    the same contract the parallel scheduler applies to worker wins —
+    so the result is verdict-equivalent to the discrete engines by
+    construction.
+    """
+
+    name = "stateclass"
+
+    def __init__(self, net: CompiledNet, config):
+        super().__init__(net, config)
+        self.engine = StateClassEngine(
+            net, reset_policy=config.reset_policy
+        )
+
+    def root(self) -> tuple[StateClass, int]:
+        return self.engine.initial_class(), 0
+
+    def successor(
+        self, cls: StateClass, transition: int, _delay: int
+    ) -> StateClass | None:
+        # candidates are pre-checked firable; an inconsistent
+        # successor would mean a DBM bug, but the core treats the
+        # ``None`` as a dead end rather than crashing a long search
+        return self.engine.try_fire(cls, transition)
+
+    def candidates_of(
+        self, cls: StateClass, stats: SearchStats
+    ) -> list[tuple[int, int]]:
+        """Ordered ``(transition, dense lower bound)`` pairs of a class.
+
+        Firability and windows read straight off the canonical DBM
+        (see :meth:`~repro.tpn.stateclass.StateClassEngine.firable`);
+        deadline-miss transitions are never scheduled, but their LFT
+        rows still cap every window, so a forced miss empties the
+        candidate list and the branch dead-ends exactly like the
+        discrete engines.  Ordering matches the discrete candidate
+        rule: ``(lower bound, priority, index)``.
+        """
+        miss = self._miss
+        dbm = cls.dbm
+        size = len(cls.enabled) + 1
+        cands: list[tuple[int, int]] = []
+        for var, t in enumerate(cls.enabled, start=1):
+            if t in miss:
+                continue
+            for u in range(1, size):
+                if dbm[u][var] < 0:
+                    break
+            else:
+                cands.append((t, int(-dbm[0][var])))
+        if not cands:
+            return cands
+
+        priorities = self._priority
+        if self._strict:
+            best = min(priorities[t] for t, _lo in cands)
+            cands = [
+                (t, lo) for t, lo in cands if priorities[t] == best
+            ]
+
+        if self._partial_order and len(cands) > 1:
+            reduced = self._forced_immediate_dense(cls, cands)
+            if reduced is not None:
+                stats.reductions += 1
+                return [reduced]
+
+        if len(cands) == 1:
+            return cands
+        expanded = [(lower, priorities[t], t) for t, lower in cands]
+        expanded.sort()
+        return [(t, q) for q, _p, t in expanded]
+
+    def _forced_immediate_dense(
+        self, cls: StateClass, cands: list[tuple[int, int]]
+    ) -> tuple[int, int] | None:
+        """Partial-order reduction pick on a state class.
+
+        The dense analogue of :func:`forced_immediate`: a candidate
+        whose *own* firing bounds are exactly ``[0, 0]`` must fire at
+        this very instant in every continuation (strong semantics, and
+        being conflict-free nothing can disable it first), so if its
+        postset also feeds no other enabled transition, firing it
+        alone is sound — the same three-condition argument as the
+        discrete reduction, with the class's own upper bound taking
+        the place of the zero dynamic upper bound.  The bound must be
+        the candidate's own ``max θ_t``, not the strong-semantics
+        window ceiling: a window zeroed by *another* transition's LFT
+        does not force ``t``, which may legally fire later once that
+        other transition goes first.
+        """
+        net = self.net
+        conflict_free = net.conflict_free
+        post_conflicts = net.post_conflicts
+        enabled = set(cls.enabled)
+        dbm = cls.dbm
+        for t, lower in cands:
+            if lower != 0 or not conflict_free[t]:
+                continue
+            var = cls.enabled.index(t) + 1
+            if dbm[var][0] != 0:
+                continue  # not forced at this instant
+            for other in post_conflicts[t]:
+                if other in enabled:
+                    break  # an enabled transition consumes from t•
+            else:
+                return (t, 0)
+        return None
+
+    def clocks_view(self, cls: StateClass) -> _DenseView:
+        """Surrogate clock vector of a class for the reorder policies.
+
+        Reorder policies read ``state.clocks`` (min-laxity keys off
+        the deadline timer's remaining time).  A class has no single
+        clock valuation, but ``EFT(t) − lower(θ_t)`` is the time ``t``
+        has provably been enabled, which is exactly the clock the
+        policies want; disabled transitions keep the :data:`DISABLED`
+        marker.
+        """
+        clocks = [DISABLED] * self.net.num_transitions
+        eft = self._eft
+        row0 = cls.dbm[0]
+        for var, t in enumerate(cls.enabled, start=1):
+            elapsed = eft[t] + int(row0[var])  # eft − lower bound
+            clocks[t] = elapsed if elapsed > 0 else 0
+        return _DenseView(tuple(clocks))
+
+    def finalize_path(self, actions, stats):
+        sequence = [t for t, _q, _at in actions]
+        realized = realize_firing_sequence(
+            self.net, sequence, self.config.reset_policy
+        )
+        # same reference-replay gate the parallel scheduler applies to
+        # worker wins (deferred import: parallel imports the scheduler
+        # stack for its workers)
+        from repro.scheduler.parallel import validate_with_reference
+
+        validate_with_reference(
+            self.net, self.config, realized.schedule
+        )
+        return realized.schedule, realized.windows
+
+
+#: Adapter registry, keyed by the engine names of
+#: :data:`repro.scheduler.config.ENGINES`.
+ADAPTERS = {
+    "incremental": IncrementalAdapter,
+    "reference": ReferenceAdapter,
+    "stateclass": StateClassAdapter,
+}
+
+
+def make_adapter(engine: str, net: CompiledNet, config) -> EngineAdapter:
+    """Build the adapter for ``engine`` over ``net``."""
+    try:
+        factory = ADAPTERS[engine]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown engine {engine!r}; expected one of "
+            f"{tuple(ADAPTERS)}"
+        ) from None
+    return factory(net, config)
+
+
+# ----------------------------------------------------------------------
+# The shared loop
+# ----------------------------------------------------------------------
+class SearchCore:
+    """The depth-first search, engine-agnostic.
+
+    Search structure (matching the paper's description):
+
+    * depth-first, with *tagging* of visited states so no state is
+      expanded twice (revisits backtrack immediately);
+    * *undesirable states are removed*: candidates that fire a
+      deadline-miss transition are never taken, and successors whose
+      marking contains a token in a deadline-missed place are pruned —
+      when the model forces a miss, the branch dead-ends and the
+      search backtracks to the previous scheduling decision;
+    * *partial-order state-space minimisation* (the paper cites
+      Lilius), applied inside the adapters' candidate enumeration;
+    * candidates are ordered by ``(delay, priority, index)`` unless a
+      reorder policy overrides it; the stop criterion is reaching
+      ``M_F``.
+
+    Two injection points serve the parallel scheduler's workers (both
+    no-ops for a plain serial search): ``tick`` is a cooperative
+    callback polled every 1024 expansions with the live counters
+    (returning True aborts the search — first-win cancellation, shared
+    state budgets), and ``shared_filter`` is a cross-process visited
+    filter with an ``add(key) -> bool`` protocol (False when the key
+    was already present); states another worker claimed are skipped
+    like local revisits.
+    """
+
+    def __init__(
+        self,
+        adapter: EngineAdapter,
+        config,
+        reorder=None,
+        tick=None,
+        shared_filter=None,
+    ):
+        self.adapter = adapter
+        self.config = config
+        self.reorder = reorder
+        self.tick = tick
+        self.shared_filter = shared_filter
+
+    def run(self) -> SchedulerResult:
+        adapter = self.adapter
+        config = self.config
+        stats = SearchStats()
+        started = time.monotonic()
+        deadline = (
+            None
+            if config.max_seconds is None
+            else started + config.max_seconds
+        )
+
+        s0, now0 = adapter.root()
+        if adapter.deadline_missed(s0.marking):
+            raise SchedulingError(
+                "initial marking already contains a missed deadline"
+            )
+        visited = {s0}
+        stats.states_visited = 1
+
+        if adapter.reached_final(s0.marking):
+            stats.elapsed_seconds = time.monotonic() - started
+            schedule, windows = adapter.finalize_path([], stats)
+            return SchedulerResult(
+                feasible=True,
+                firing_schedule=schedule,
+                stats=stats,
+                config=config,
+                interval_schedule=windows,
+            )
+
+        candidates_of = adapter.candidates_of
+        reorder = self.reorder
+        if reorder is not None:
+            base_candidates = candidates_of
+            clocks_view = adapter.clocks_view
+
+            def candidates_of(state, stats):
+                return reorder(
+                    base_candidates(state, stats), clocks_view(state)
+                )
+
+        stack: list[_Frame] = [
+            _Frame(s0, now0, candidates_of(s0, stats))
+        ]
+        exhausted = False
+
+        # Hot-loop locals: the marking predicates re-run only when the
+        # fired transition can change their verdict (parents on the
+        # stack already passed both checks), and the per-expansion
+        # counters stay in locals, folded back into `stats` on exit.
+        successor = adapter.successor
+        touches_miss = adapter.touches_miss
+        touches_final = adapter.touches_final
+        has_missed = adapter.deadline_missed
+        is_final = adapter.reached_final
+        state_key = adapter.state_key
+        max_states = config.max_states
+        monotonic = time.monotonic
+        visited_add = visited.add
+        tick = self.tick
+        shared = self.shared_filter
+        shared_add = None if shared is None else shared.add
+        polled = deadline is not None or tick is not None
+        n_visited = 1
+        n_generated = 0
+        n_revisits = 0
+        n_prunes = 0
+        n_backtracks = 0
+
+        try:
+            while stack:
+                frame = stack[-1]
+                index = frame.index
+                candidates = frame.candidates
+                if index >= len(candidates):
+                    stack.pop()
+                    if stack:
+                        n_backtracks += 1
+                    continue
+                frame.index = index + 1
+                transition, delay = candidates[index]
+
+                n_generated += 1
+                if polled and not n_generated & _TIME_CHECK_MASK:
+                    if deadline is not None and monotonic() > deadline:
+                        exhausted = True
+                        break
+                    if tick is not None and tick(
+                        n_visited,
+                        n_generated,
+                        n_revisits,
+                        n_prunes,
+                        n_backtracks,
+                    ):
+                        exhausted = True
+                        break
+
+                child = successor(frame.state, transition, delay)
+                if child is None:
+                    n_prunes += 1
+                    continue
+                if touches_miss[transition] and has_missed(
+                    child.marking
+                ):
+                    n_prunes += 1
+                    continue
+                if child in visited:
+                    n_revisits += 1
+                    continue
+                if shared_add is not None and not shared_add(
+                    state_key(child)
+                ):
+                    # another worker already claimed (and will fully
+                    # explore) this state
+                    n_revisits += 1
+                    continue
+                visited_add(child)
+                n_visited += 1
+                now = frame.now
+                action = (transition, delay, now + delay)
+
+                if touches_final[transition] and is_final(
+                    child.marking
+                ):
+                    actions = [
+                        f.action
+                        for f in stack[1:]
+                        if f.action is not None
+                    ]
+                    actions.append(action)
+                    stats.elapsed_seconds = monotonic() - started
+                    schedule, windows = adapter.finalize_path(
+                        actions, stats
+                    )
+                    return SchedulerResult(
+                        feasible=True,
+                        firing_schedule=schedule,
+                        stats=stats,
+                        config=config,
+                        interval_schedule=windows,
+                    )
+
+                if n_visited >= max_states:
+                    exhausted = True
+                    break
+                stack.append(
+                    _Frame(
+                        child,
+                        now + delay,
+                        candidates_of(child, stats),
+                        action,
+                    )
+                )
+        finally:
+            stats.states_visited = n_visited
+            stats.states_generated = n_generated
+            stats.revisits_skipped = n_revisits
+            stats.deadline_prunes = n_prunes
+            stats.backtracks = n_backtracks
+
+        stats.elapsed_seconds = time.monotonic() - started
+        return SchedulerResult(
+            feasible=False,
+            stats=stats,
+            config=config,
+            exhausted=exhausted,
+        )

@@ -1,18 +1,20 @@
 """Pre-runtime schedule synthesis by depth-first search (Section 4.4.1).
 
-**Overview for new contributors.**  This module is the heart of the
-synthesis pipeline: it takes the compiled time Petri net produced by
-the block composer and searches its timed state space for a firing
+**Overview for new contributors.**  This module is the front door of
+the synthesis pipeline: it takes the compiled time Petri net produced
+by the block composer and searches its timed state space for a firing
 sequence that reaches the desired final marking — that sequence *is*
 the pre-runtime schedule the code generator turns into a C table.
-Everything else in ``scheduler/`` supports this search:
-``config.py`` holds the knobs, ``result.py`` the outcome/statistics
-containers, ``policies.py`` the alternative candidate orderings, and
-``parallel.py`` races or partitions this search across worker
-processes.  Start reading at :meth:`PreRuntimeScheduler._search_fast`
-(the production loop) with :meth:`_candidates_fast` (how one state's
-successor choices are enumerated); ``_search_reference`` is the same
-algorithm kept deliberately naive as the measured baseline.
+Everything else in ``scheduler/`` supports this search: ``core.py``
+holds the single engine-agnostic DFS loop and the three
+:class:`~repro.scheduler.core.EngineAdapter` implementations,
+``config.py`` the knobs, ``result.py`` the outcome/statistics
+containers, ``policies.py`` the alternative candidate orderings,
+``adaptive.py`` the portfolio-seeding statistics, and ``parallel.py``
+races or partitions the search across worker processes.  Start reading
+at :class:`repro.scheduler.core.SearchCore` (the loop) and
+:meth:`repro.scheduler.core.IncrementalAdapter.candidates_of` (how one
+state's successor choices are enumerated).
 
 The algorithm explores the timed labeled transition system derived from
 the composed TPN, looking for a firing sequence that reaches the desired
@@ -20,27 +22,8 @@ final marking ``M_F`` — by Definition 3.2 such a sequence *is* a
 feasible pre-runtime schedule, and finding one proves the task set
 schedulable under the searched policy.
 
-Search structure (matching the paper's description):
-
-* depth-first, with *tagging* of visited states so no state is expanded
-  twice (revisits backtrack immediately);
-* *undesirable states are removed*: candidates that fire a
-  deadline-miss transition are never taken, and successors whose
-  marking contains a token in a deadline-missed place are pruned —
-  when the model forces a miss, the branch dead-ends and the search
-  backtracks to the previous scheduling decision;
-* *partial-order state-space minimisation* (the paper cites Lilius):
-  when an immediate (zero-delay) candidate is structurally independent
-  of every other candidate — sharing no input place, so firing it can
-  neither disable nor be disabled by the alternatives — it is fired
-  alone instead of branching over interleavings.  Arrival cascades and
-  finish bookkeeping linearise this way; only genuine resource
-  conflicts (processor grants, exclusion locks) branch;
-* candidates are ordered by ``(delay, priority, index)``, so the search
-  is work-conserving first and urgency-driven second; the stop
-  criterion is reaching ``M_F``.
-
-Three successor engines drive the expansion:
+Three successor engines drive the expansion, each wrapped by a thin
+adapter behind the shared loop:
 
 * ``engine="incremental"`` (default) — the
   :class:`~repro.tpn.fastengine.IncrementalEngine` hot path: O(degree)
@@ -55,75 +38,33 @@ Three successor engines drive the expansion:
   :class:`~repro.tpn.stateclass.StateClassEngine`: states are
   Berthomieu–Diaz state classes (marking + difference-bound matrix),
   so every dense firing delay of a transition is one search edge
-  instead of one edge per integer delay.  On models with wide firing
-  intervals this collapses whole families of integer clock valuations
-  into single classes.  A feasible class path is *concretised* back to
-  integer firing times (:func:`repro.tpn.stateclass.
-  realize_firing_sequence`) and replayed through the checked reference
-  engine before being returned — the same contract the parallel
-  scheduler applies to worker wins — so the result is
-  verdict-equivalent to the discrete engines by construction.
+  instead of one edge per integer delay.  A feasible class path is
+  *concretised* back to integer firing times and replayed through the
+  checked reference engine before being returned — the same contract
+  the parallel scheduler applies to worker wins.
 """
 
 from __future__ import annotations
 
-import time
-
 from repro.errors import InfeasibleScheduleError, SchedulingError
 from repro.blocks.composer import ComposedModel
 from repro.scheduler.config import ENGINES, SchedulerConfig
+from repro.scheduler.core import SearchCore, make_adapter
 from repro.scheduler.policies import make_reorder
-from repro.scheduler.result import SchedulerResult, SearchStats
+from repro.scheduler.result import SchedulerResult
 from repro.tpn.fastengine import FastState, IncrementalEngine
-from repro.tpn.interval import INF
 from repro.tpn.net import CompiledNet
-from repro.tpn.state import DISABLED, State, StateEngine
-from repro.tpn.stateclass import (
-    StateClass,
-    StateClassEngine,
-    realize_firing_sequence,
-)
-
-# check the wall clock every 1024 expansions; the budget is measured
-# on time.monotonic() — never the adjustable system clock — matching
-# the batch engine's timing
-_TIME_CHECK_MASK = 0x3FF
-
-
-class _Frame:
-    """One DFS stack entry (slotted: the stack is the hot data path)."""
-
-    __slots__ = ("state", "now", "candidates", "index", "action")
-
-    def __init__(
-        self,
-        state: FastState | State,
-        now: int,
-        candidates: list[tuple[int, int]],
-        action: tuple[int, int, int] | None = None,
-    ):
-        self.state = state
-        self.now = now
-        self.candidates = candidates
-        self.index = 0
-        self.action = action
-
-
-class _DenseView:
-    """Clock-vector facade handed to reorder policies by the dense DFS.
-
-    Policies only read ``state.clocks``; a state class exposes a
-    surrogate vector (see ``PreRuntimeScheduler._dense_clocks``).
-    """
-
-    __slots__ = ("clocks",)
-
-    def __init__(self, clocks: tuple[int, ...]):
-        self.clocks = clocks
 
 
 class PreRuntimeScheduler:
-    """Depth-first schedule synthesiser over a compiled net."""
+    """Depth-first schedule synthesiser over a compiled net.
+
+    A thin shell around :class:`repro.scheduler.core.SearchCore`: it
+    validates the configuration, builds the engine adapter and the
+    policy reorder function, and exposes the injection points the
+    parallel scheduler's workers use (``tick``, ``shared_filter``,
+    :meth:`search_from`).
+    """
 
     def __init__(
         self,
@@ -149,29 +90,7 @@ class PreRuntimeScheduler:
                 "keep the default 'earliest'"
             )
         self.engine_mode = engine
-        self.engine = StateEngine(
-            net, reset_policy=self.config.reset_policy
-        )
-        self.fast = IncrementalEngine(
-            net, reset_policy=self.config.reset_policy
-        )
-        self.dense = (
-            StateClassEngine(
-                net, reset_policy=self.config.reset_policy
-            )
-            if engine == "stateclass"
-            else None
-        )
-        # hoisted config knobs and net arrays (read once per candidate
-        # set instead of per attribute hop in the hot loop)
-        self._strict = self.config.priority_mode == "strict"
-        self._delay_mode = self.config.delay_mode
-        self._earliest = self.config.delay_mode == "earliest"
-        self._partial_order = self.config.partial_order
-        self._eft = net.eft
-        self._lft = net.lft
-        self._priority = net.priority
-        self._miss = net.miss_transitions
+        self.adapter = make_adapter(engine, net, self.config)
         self._reorder = make_reorder(
             self.config.policy, net, self.config.policy_seed
         )
@@ -181,26 +100,36 @@ class PreRuntimeScheduler:
         #: live counters; returning True aborts the search (used for
         #: first-win cancellation and shared state budgets).
         self.tick = None
-        #: cross-process visited filter with an ``add(hash) -> bool``
-        #: protocol (False when the hash was already present); states
+        #: cross-process visited filter with an ``add(key) -> bool``
+        #: protocol (False when the key was already present); states
         #: another worker claimed are skipped like local revisits.
         self.shared_filter = None
-        self._root: FastState | None = None
-        self._root_now = 0
         if not net.final_constraints:
             raise SchedulingError(
                 "net has no final marking; set one (the join block does "
                 "this automatically) before scheduling"
             )
 
+    @property
+    def fast(self) -> IncrementalEngine:
+        """The incremental successor engine (work-stealing handoff)."""
+        if self.engine_mode != "incremental":
+            raise SchedulingError(
+                "only the incremental adapter carries a FastState "
+                "engine"
+            )
+        return self.adapter.engine
+
     # ------------------------------------------------------------------
     def search(self) -> SchedulerResult:
         """Run the DFS; returns a result whether or not it succeeds."""
-        if self.engine_mode == "incremental":
-            return self._search_fast()
-        if self.engine_mode == "stateclass":
-            return self._search_stateclass()
-        return self._search_reference()
+        return SearchCore(
+            self.adapter,
+            self.config,
+            reorder=self._reorder,
+            tick=self.tick,
+            shared_filter=self.shared_filter,
+        ).run()
 
     def search_from(self, root: FastState, now: int) -> SchedulerResult:
         """Run the DFS from a subtree root instead of the initial state.
@@ -216,826 +145,11 @@ class PreRuntimeScheduler:
             raise SchedulingError(
                 "subtree search requires the incremental engine"
             )
-        self._root = root
-        self._root_now = now
+        self.adapter.set_root(root, now)
         try:
-            return self._search_fast()
+            return self.search()
         finally:
-            self._root = None
-            self._root_now = 0
-
-    def _search_fast(self) -> SchedulerResult:
-        """DFS on the incremental engine (the production hot path)."""
-        config = self.config
-        net = self.net
-        stats = SearchStats()
-        started = time.monotonic()
-        deadline = (
-            None
-            if config.max_seconds is None
-            else started + config.max_seconds
-        )
-
-        root = self._root
-        s0 = self.fast.initial() if root is None else root
-        now0 = self._root_now
-        successor = self.fast.successor
-        candidates_of = self._candidates_fast
-        reorder = self._reorder
-        if reorder is not None:
-            base_candidates = candidates_of
-
-            def candidates_of(state, stats):
-                return reorder(base_candidates(state, stats), state)
-
-        if net.has_missed_deadline(s0.marking):
-            raise SchedulingError(
-                "initial marking already contains a missed deadline"
-            )
-        visited = {s0}
-        stats.states_visited = 1
-
-        if net.is_final(s0.marking):
-            stats.elapsed_seconds = time.monotonic() - started
-            return SchedulerResult(
-                feasible=True, stats=stats, config=config
-            )
-
-        stack: list[_Frame] = [
-            _Frame(s0, now0, candidates_of(s0, stats))
-        ]
-        exhausted = False
-
-        # Hot-loop locals: the marking predicates re-run only when the
-        # fired transition can change their verdict (parents on the
-        # stack already passed both checks), and the per-expansion
-        # counters stay in locals, folded back into `stats` on exit.
-        touches_miss = net.touches_miss
-        touches_final = net.touches_final
-        has_missed = net.has_missed_deadline
-        is_final = net.is_final
-        max_states = config.max_states
-        monotonic = time.monotonic
-        visited_add = visited.add
-        tick = self.tick
-        shared = self.shared_filter
-        shared_add = None if shared is None else shared.add
-        polled = deadline is not None or tick is not None
-        n_visited = 1
-        n_generated = 0
-        n_revisits = 0
-        n_prunes = 0
-        n_backtracks = 0
-
-        try:
-            while stack:
-                frame = stack[-1]
-                index = frame.index
-                candidates = frame.candidates
-                if index >= len(candidates):
-                    stack.pop()
-                    if stack:
-                        n_backtracks += 1
-                    continue
-                frame.index = index + 1
-                transition, delay = candidates[index]
-
-                n_generated += 1
-                if polled and not n_generated & _TIME_CHECK_MASK:
-                    if deadline is not None and monotonic() > deadline:
-                        exhausted = True
-                        break
-                    if tick is not None and tick(
-                        n_visited,
-                        n_generated,
-                        n_revisits,
-                        n_prunes,
-                        n_backtracks,
-                    ):
-                        exhausted = True
-                        break
-
-                child = successor(frame.state, transition, delay)
-                if touches_miss[transition] and has_missed(
-                    child.marking
-                ):
-                    n_prunes += 1
-                    continue
-                if child in visited:
-                    n_revisits += 1
-                    continue
-                if shared_add is not None and not shared_add(
-                    child._hash
-                ):
-                    # another worker already claimed (and will fully
-                    # explore) this state
-                    n_revisits += 1
-                    continue
-                visited_add(child)
-                n_visited += 1
-                now = frame.now
-                action = (transition, delay, now + delay)
-
-                if touches_final[transition] and is_final(
-                    child.marking
-                ):
-                    names = net.transition_names
-                    schedule = [
-                        (
-                            names[f.action[0]],
-                            f.action[1],
-                            f.action[2],
-                        )
-                        for f in stack[1:]
-                        if f.action is not None
-                    ]
-                    schedule.append(
-                        (names[transition], delay, now + delay)
-                    )
-                    stats.elapsed_seconds = monotonic() - started
-                    return SchedulerResult(
-                        feasible=True,
-                        firing_schedule=schedule,
-                        stats=stats,
-                        config=config,
-                    )
-
-                if n_visited >= max_states:
-                    exhausted = True
-                    break
-                stack.append(
-                    _Frame(
-                        child,
-                        now + delay,
-                        candidates_of(child, stats),
-                        action,
-                    )
-                )
-        finally:
-            stats.states_visited = n_visited
-            stats.states_generated = n_generated
-            stats.revisits_skipped = n_revisits
-            stats.deadline_prunes = n_prunes
-            stats.backtracks = n_backtracks
-
-        stats.elapsed_seconds = time.monotonic() - started
-        return SchedulerResult(
-            feasible=False,
-            stats=stats,
-            config=config,
-            exhausted=exhausted,
-        )
-
-    def _search_reference(self) -> SchedulerResult:
-        """DFS on the dense reference engine.
-
-        Byte-faithful to the pre-incremental scheduler (list frames,
-        per-child marking predicates, dense candidate scans): this is
-        the baseline the hot-path benchmark and the CI smoke job
-        measure and cross-validate against, so it intentionally does
-        NOT inherit the fast path's loop optimisations.
-        """
-        config = self.config
-        engine = self.engine
-        net = self.net
-        stats = SearchStats()
-        started = time.monotonic()
-        deadline = (
-            None
-            if config.max_seconds is None
-            else started + config.max_seconds
-        )
-
-        s0 = engine.initial_state()
-        if net.has_missed_deadline(s0.marking):
-            raise SchedulingError(
-                "initial marking already contains a missed deadline"
-            )
-        visited: set[State] = {s0}
-        stats.states_visited = 1
-
-        if net.is_final(s0.marking):
-            stats.elapsed_seconds = time.monotonic() - started
-            return SchedulerResult(
-                feasible=True, stats=stats, config=config
-            )
-
-        candidates_of = self._candidates_ref
-        reorder = self._reorder
-        if reorder is not None:
-            base_candidates = candidates_of
-
-            def candidates_of(state, stats):
-                return reorder(base_candidates(state, stats), state)
-
-        tick = self.tick
-        polled = deadline is not None or tick is not None
-
-        # Frame: [state, abs_time, candidates, next_index, action]
-        stack: list[list] = [
-            [s0, 0, candidates_of(s0, stats), 0, None]
-        ]
-        exhausted = False
-
-        while stack:
-            frame = stack[-1]
-            state, now, candidates, index = (
-                frame[0],
-                frame[1],
-                frame[2],
-                frame[3],
-            )
-            if index >= len(candidates):
-                stack.pop()
-                if stack:
-                    stats.backtracks += 1
-                continue
-            frame[3] = index + 1
-            transition, delay = candidates[index]
-
-            stats.states_generated += 1
-            if polled and not stats.states_generated & _TIME_CHECK_MASK:
-                if deadline is not None and time.monotonic() > deadline:
-                    exhausted = True
-                    break
-                if tick is not None and tick(
-                    stats.states_visited,
-                    stats.states_generated,
-                    stats.revisits_skipped,
-                    stats.deadline_prunes,
-                    stats.backtracks,
-                ):
-                    exhausted = True
-                    break
-
-            child = engine._fire_unchecked(state, transition, delay)
-            if net.has_missed_deadline(child.marking):
-                stats.deadline_prunes += 1
-                continue
-            if child in visited:
-                stats.revisits_skipped += 1
-                continue
-            visited.add(child)
-            stats.states_visited += 1
-            action = (transition, delay, now + delay)
-
-            if net.is_final(child.marking):
-                stats.elapsed_seconds = time.monotonic() - started
-                schedule = [
-                    (
-                        net.transition_names[f[4][0]],
-                        f[4][1],
-                        f[4][2],
-                    )
-                    for f in stack[1:]
-                    if f[4] is not None
-                ]
-                schedule.append(
-                    (
-                        net.transition_names[transition],
-                        delay,
-                        now + delay,
-                    )
-                )
-                return SchedulerResult(
-                    feasible=True,
-                    firing_schedule=schedule,
-                    stats=stats,
-                    config=config,
-                )
-
-            if stats.states_visited >= config.max_states:
-                exhausted = True
-                break
-            stack.append(
-                [
-                    child,
-                    now + delay,
-                    candidates_of(child, stats),
-                    0,
-                    action,
-                ]
-            )
-
-        stats.elapsed_seconds = time.monotonic() - started
-        return SchedulerResult(
-            feasible=False,
-            stats=stats,
-            config=config,
-            exhausted=exhausted,
-        )
-
-    def _search_stateclass(self) -> SchedulerResult:
-        """DFS on the dense-time state-class engine.
-
-        The loop mirrors :meth:`_search_reference` — same frames, same
-        tagging, same deadline pruning, same budget/tick polling, same
-        policy reordering — but a state is a Berthomieu–Diaz class, so
-        one edge covers *every* dense firing delay of a transition.
-        Frames therefore record only the fired transition: when a
-        final-marking class is reached, the firing sequence is
-        concretised to earliest integer firing times
-        (:func:`~repro.tpn.stateclass.realize_firing_sequence`) and
-        replayed through the checked reference engine before the
-        result is returned.
-        """
-        config = self.config
-        dense = self.dense
-        net = self.net
-        stats = SearchStats()
-        started = time.monotonic()
-        deadline = (
-            None
-            if config.max_seconds is None
-            else started + config.max_seconds
-        )
-
-        s0 = dense.initial_class()
-        if net.has_missed_deadline(s0.marking):
-            raise SchedulingError(
-                "initial marking already contains a missed deadline"
-            )
-        visited: set[StateClass] = {s0}
-        stats.states_visited = 1
-
-        if net.is_final(s0.marking):
-            stats.elapsed_seconds = time.monotonic() - started
-            return SchedulerResult(
-                feasible=True,
-                stats=stats,
-                config=config,
-                interval_schedule=[],
-            )
-
-        candidates_of = self._candidates_stateclass
-        reorder = self._reorder
-        if reorder is not None:
-            base_candidates = candidates_of
-            clocks_of = self._dense_clocks
-
-            def candidates_of(cls, stats):
-                return reorder(
-                    base_candidates(cls, stats), _DenseView(clocks_of(cls))
-                )
-
-        tick = self.tick
-        polled = deadline is not None or tick is not None
-        touches_miss = net.touches_miss
-        touches_final = net.touches_final
-
-        # Frame: [class, candidates, next_index, fired_transition]
-        stack: list[list] = [[s0, candidates_of(s0, stats), 0, None]]
-        exhausted = False
-
-        while stack:
-            frame = stack[-1]
-            cls, candidates, index = frame[0], frame[1], frame[2]
-            if index >= len(candidates):
-                stack.pop()
-                if stack:
-                    stats.backtracks += 1
-                continue
-            frame[2] = index + 1
-            transition, _lower = candidates[index]
-
-            stats.states_generated += 1
-            if polled and not stats.states_generated & _TIME_CHECK_MASK:
-                if deadline is not None and time.monotonic() > deadline:
-                    exhausted = True
-                    break
-                if tick is not None and tick(
-                    stats.states_visited,
-                    stats.states_generated,
-                    stats.revisits_skipped,
-                    stats.deadline_prunes,
-                    stats.backtracks,
-                ):
-                    exhausted = True
-                    break
-
-            child = dense._fire(cls, transition)
-            if child is None:
-                # candidates are pre-checked firable; an inconsistent
-                # successor would mean a DBM bug, but treat it as a
-                # dead end rather than crashing a long search
-                stats.deadline_prunes += 1
-                continue
-            if touches_miss[transition] and net.has_missed_deadline(
-                child.marking
-            ):
-                stats.deadline_prunes += 1
-                continue
-            if child in visited:
-                stats.revisits_skipped += 1
-                continue
-            visited.add(child)
-            stats.states_visited += 1
-
-            if touches_final[transition] and net.is_final(child.marking):
-                sequence = [f[3] for f in stack[1:]]
-                sequence.append(transition)
-                realized = realize_firing_sequence(
-                    net, sequence, config.reset_policy
-                )
-                # same reference-replay gate the parallel scheduler
-                # applies to worker wins (deferred import: parallel
-                # imports this module for its workers)
-                from repro.scheduler.parallel import (
-                    validate_with_reference,
-                )
-
-                validate_with_reference(
-                    net, config, realized.schedule
-                )
-                stats.elapsed_seconds = time.monotonic() - started
-                return SchedulerResult(
-                    feasible=True,
-                    firing_schedule=realized.schedule,
-                    stats=stats,
-                    config=config,
-                    interval_schedule=realized.windows,
-                )
-
-            if stats.states_visited >= config.max_states:
-                exhausted = True
-                break
-            stack.append(
-                [child, candidates_of(child, stats), 0, transition]
-            )
-
-        stats.elapsed_seconds = time.monotonic() - started
-        return SchedulerResult(
-            feasible=False,
-            stats=stats,
-            config=config,
-            exhausted=exhausted,
-        )
-
-    # ------------------------------------------------------------------
-    def _candidates_stateclass(
-        self, cls: StateClass, stats: SearchStats
-    ) -> list[tuple[int, int]]:
-        """Ordered ``(transition, dense lower bound)`` pairs of a class.
-
-        Firability and windows read straight off the canonical DBM
-        (see :meth:`~repro.tpn.stateclass.StateClassEngine.firable`);
-        deadline-miss transitions are never scheduled, but their LFT
-        rows still cap every window, so a forced miss empties the
-        candidate list and the branch dead-ends exactly like the
-        discrete engines.  Ordering matches the discrete candidate
-        rule: ``(lower bound, priority, index)``.
-        """
-        miss = self._miss
-        dbm = cls.dbm
-        size = len(cls.enabled) + 1
-        cands: list[tuple[int, int]] = []
-        for var, t in enumerate(cls.enabled, start=1):
-            if t in miss:
-                continue
-            for u in range(1, size):
-                if dbm[u][var] < 0:
-                    break
-            else:
-                cands.append((t, int(-dbm[0][var])))
-        if not cands:
-            return cands
-
-        priorities = self._priority
-        if self._strict:
-            best = min(priorities[t] for t, _lo in cands)
-            cands = [
-                (t, lo) for t, lo in cands if priorities[t] == best
-            ]
-
-        if self._partial_order and len(cands) > 1:
-            reduced = self._forced_immediate_dense(cls, cands)
-            if reduced is not None:
-                stats.reductions += 1
-                return [reduced]
-
-        if len(cands) == 1:
-            return cands
-        expanded = [(lower, priorities[t], t) for t, lower in cands]
-        expanded.sort()
-        return [(t, q) for q, _p, t in expanded]
-
-    def _forced_immediate_dense(
-        self, cls: StateClass, cands: list[tuple[int, int]]
-    ) -> tuple[int, int] | None:
-        """Partial-order reduction pick on a state class.
-
-        The dense analogue of :meth:`_independent_immediate`: a
-        candidate whose *own* firing bounds are exactly ``[0, 0]``
-        must fire at this very instant in every continuation (strong
-        semantics, and being conflict-free nothing can disable it
-        first), so if its postset also feeds no other enabled
-        transition, firing it alone is sound — the same
-        three-condition argument as the discrete reduction, with the
-        class's own upper bound taking the place of the zero dynamic
-        upper bound.  The bound must be the candidate's own
-        ``max θ_t``, not the strong-semantics window ceiling: a window
-        zeroed by *another* transition's LFT does not force ``t``,
-        which may legally fire later once that other transition goes
-        first.
-        """
-        net = self.net
-        conflict_free = net.conflict_free
-        post_conflicts = net.post_conflicts
-        enabled = set(cls.enabled)
-        dbm = cls.dbm
-        for t, lower in cands:
-            if lower != 0 or not conflict_free[t]:
-                continue
-            var = cls.enabled.index(t) + 1
-            if dbm[var][0] != 0:
-                continue  # not forced at this instant
-            for other in post_conflicts[t]:
-                if other in enabled:
-                    break  # an enabled transition consumes from t•
-            else:
-                return (t, 0)
-        return None
-
-    def _dense_clocks(self, cls: StateClass) -> tuple[int, ...]:
-        """Surrogate clock vector of a class for the reorder policies.
-
-        Reorder policies read ``state.clocks`` (min-laxity keys off the
-        deadline timer's remaining time).  A class has no single clock
-        valuation, but ``EFT(t) − lower(θ_t)`` is the time ``t`` has
-        provably been enabled, which is exactly the clock the policies
-        want; disabled transitions keep the :data:`DISABLED` marker.
-        """
-        clocks = [DISABLED] * self.net.num_transitions
-        eft = self._eft
-        row0 = cls.dbm[0]
-        for var, t in enumerate(cls.enabled, start=1):
-            elapsed = eft[t] + int(row0[var])  # eft − lower bound
-            clocks[t] = elapsed if elapsed > 0 else 0
-        return tuple(clocks)
-
-    # ------------------------------------------------------------------
-    def _candidates_fast(
-        self, state: FastState, stats: SearchStats
-    ) -> list[tuple[int, int]]:
-        """Ordered ``(transition, delay)`` pairs — queue extraction.
-
-        Reads the ceiling in O(1) from the state's derived views and
-        extracts the firing window as a prefix of the lower-bound
-        queue, so the per-expansion cost tracks the number of
-        *fireable* transitions rather than the size of the net.
-        """
-        miss = self._miss
-        shift = state.shift
-        imms = state.imms
-
-        # O(1) ceiling: enabled immediates pin it to 0, otherwise the
-        # upper-bound queue head holds min DUB (INF when empty); the
-        # window is then a prefix of the lower-bound queue — no pass
-        # over the enabled set at all
-        if imms:
-            ceiling = 0
-            bound = shift
-            cands = [(t, 0) for t in imms if t not in miss]
-        else:
-            tub = state.tub
-            ceiling = tub[0][0] - shift if tub else INF
-            bound = shift + ceiling
-            cands = []
-        for v, tk in state.tlb:
-            if v > bound:
-                break
-            if tk not in miss:
-                lower = v - shift
-                cands.append((tk, lower if lower > 0 else 0))
-        if not cands:
-            return cands
-        cands.sort()
-
-        # specialised common path: earliest-delay, no strict filter —
-        # one candidate needs no ordering at all, several sort by
-        # (delay, priority, index)
-        if self._earliest and not self._strict:
-            if len(cands) == 1:
-                return cands
-            if self._partial_order:
-                reduced = self._independent_immediate_fast(
-                    cands, state.clocks, state.enabled
-                )
-                if reduced is not None:
-                    stats.reductions += 1
-                    return [reduced]
-            priority = self._priority
-            expanded = [
-                (lower, priority[t], t) for t, lower in cands
-            ]
-            expanded.sort()
-            return [(t, q) for q, _p, t in expanded]
-        return self._finalize(
-            cands, ceiling, state.clocks, state.enabled, stats
-        )
-
-    def _candidates_ref(
-        self, state: State, stats: SearchStats
-    ) -> list[tuple[int, int]]:
-        """Reference candidate enumeration: dense scans over all of T.
-
-        Kept equivalent to the pre-incremental scheduler — two full
-        passes over the transition set per expansion — so the benchmark
-        baseline is honest and the equivalence suite has a fixed point
-        to compare against.
-        """
-        net = self.net
-        config = self.config
-        eft = net.eft
-        lft = net.lft
-        clocks = state.clocks
-
-        ceiling = INF
-        for t, clock in enumerate(clocks):
-            if clock == DISABLED or lft[t] == INF:
-                continue
-            bound = lft[t] - clock
-            if bound < ceiling:
-                ceiling = bound
-
-        miss = net.miss_transitions
-        cands: list[tuple[int, int]] = []
-        for t, clock in enumerate(clocks):
-            if clock == DISABLED or t in miss:
-                continue
-            lower = eft[t] - clock
-            if lower < 0:
-                lower = 0
-            if lower <= ceiling:
-                cands.append((t, lower))
-        if not cands:
-            return []
-
-        priorities = net.priority
-        if config.priority_mode == "strict":
-            best = min(priorities[t] for t, _lo in cands)
-            cands = [
-                (t, lo) for t, lo in cands if priorities[t] == best
-            ]
-
-        if config.partial_order and len(cands) > 1:
-            enabled = [
-                t for t, clock in enumerate(clocks) if clock != DISABLED
-            ]
-            reduced = self._independent_immediate(cands, clocks, enabled)
-            if reduced is not None:
-                stats.reductions += 1
-                cands = [reduced]
-
-        expanded: list[tuple[int, int, int]] = []
-        for t, lower in cands:
-            if config.delay_mode == "earliest" or ceiling == INF:
-                delays = (lower,)
-            elif config.delay_mode == "extremes":
-                upper = int(ceiling)
-                delays = (lower,) if upper == lower else (lower, upper)
-            else:  # full
-                delays = tuple(range(lower, int(ceiling) + 1))
-            for q in delays:
-                expanded.append((q, priorities[t], t))
-        expanded.sort()
-        return [(t, q) for q, _p, t in expanded]
-
-    def _finalize(
-        self,
-        cands: list[tuple[int, int]],
-        ceiling: float,
-        clocks: tuple[int, ...],
-        enabled,
-        stats: SearchStats,
-    ) -> list[tuple[int, int]]:
-        """Priority filter, partial-order reduction, delay expansion."""
-        if not cands:
-            return []
-        priorities = self.net.priority
-
-        if self._strict:
-            best = min(priorities[t] for t, _lo in cands)
-            cands = [
-                (t, lo) for t, lo in cands if priorities[t] == best
-            ]
-
-        if self._partial_order and len(cands) > 1:
-            reduced = self._independent_immediate_fast(
-                cands, clocks, enabled
-            )
-            if reduced is not None:
-                stats.reductions += 1
-                cands = [reduced]
-
-        delay_mode = self._delay_mode
-        if delay_mode == "earliest" or ceiling == INF:
-            if len(cands) == 1:
-                return cands
-            expanded = [
-                (lower, priorities[t], t) for t, lower in cands
-            ]
-            expanded.sort()
-            return [(t, q) for q, _p, t in expanded]
-
-        expanded = []
-        for t, lower in cands:
-            if delay_mode == "extremes":
-                upper = int(ceiling)
-                delays = (lower,) if upper == lower else (lower, upper)
-            else:  # full
-                delays = tuple(range(lower, int(ceiling) + 1))
-            for q in delays:
-                expanded.append((q, priorities[t], t))
-        expanded.sort()
-        return [(t, q) for q, _p, t in expanded]
-
-    def _independent_immediate_fast(
-        self,
-        cands: list[tuple[int, int]],
-        clocks: tuple[int, ...],
-        enabled,
-    ) -> tuple[int, int] | None:
-        """Partial-order reduction pick, static-set formulation.
-
-        Same decision as :meth:`_independent_immediate` (see there for
-        the soundness argument), but the clock-commutation condition
-        "``t``'s postset feeds no other enabled transition" walks the
-        precomputed (small) :attr:`CompiledNet.post_conflicts` set and
-        reads enabledness straight off the clock vector instead of
-        looping over the enabled transitions.
-        """
-        net = self.net
-        conflict_free = net.conflict_free
-        post_conflicts = net.post_conflicts
-        lft = self._lft
-        for t, lower in cands:
-            if lower != 0 or not conflict_free[t]:
-                continue
-            if lft[t] == INF or lft[t] - clocks[t] > 0:
-                continue  # not forced at this instant
-            for other in post_conflicts[t]:
-                if clocks[other] >= 0:
-                    break  # an enabled transition consumes from t•
-            else:
-                return (t, 0)
-        return None
-
-    def _independent_immediate(
-        self,
-        cands: list[tuple[int, int]],
-        clocks: tuple[int, ...],
-        enabled,
-    ) -> tuple[int, int] | None:
-        """Pick a candidate that may soundly be fired without branching.
-
-        A candidate qualifies when it is *structurally conflict-free*
-        (every input place is consumed by this transition only, so its
-        firing can never steal a token from any other transition — now
-        or in the future) and it fires with zero delay, so no clock
-        advances and every alternative stays fireable afterwards.
-
-        Three conditions make firing ``t`` alone sound:
-
-        * ``t`` is *forced now*: its dynamic upper bound is zero, so
-          strong semantics fires it at this very instant in every
-          continuation — and the zero ceiling means every other
-          candidate is also zero-delay, so no time passes either way;
-        * ``t`` is structurally conflict-free, so no interleaving can
-          disable it and it can disable nothing;
-        * ``t``'s postset avoids the preset of every other currently
-          enabled transition: producing into a place another enabled
-          transition consumes from does not commute at the *clock*
-          level.  The boundary case is an instance completing exactly
-          when the next one arrives — the arrival (producing the
-          deadline-timer token) and the finish (consuming the old one)
-          must be interleaved both ways, because only
-          finish-then-arrival lets the deadline clock reset.
-
-        Earlier revisions also reduced merely-eager candidates under
-        the earliest-delay policy; that loses real schedules (eagerly
-        releasing a task forecloses interleavings where another task's
-        arrival advances time first), so only forced firings reduce.
-        """
-        net = self.net
-        conflict_free = net.conflict_free
-        presets = net.pre_places
-        postsets = net.post_places
-        lft = net.lft
-        for t, lower in cands:
-            if lower != 0 or not conflict_free[t]:
-                continue
-            if lft[t] == INF or lft[t] - clocks[t] > 0:
-                continue  # not forced at this instant
-            post = postsets[t]
-            clean = True
-            for other in enabled:
-                if other != t and post & presets[other]:
-                    clean = False
-                    break
-            if clean:
-                return (t, 0)
-        return None
+            self.adapter.set_root(None, 0)
 
 
 def search(

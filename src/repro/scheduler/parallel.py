@@ -8,14 +8,19 @@ the same worker plumbing:
 
 * **Portfolio racing** (``parallel_mode="portfolio"``) — every worker
   runs a complete, independent DFS over the same state space, each
-  with a different candidate ordering from
+  under a different *(engine, policy)* slot: a candidate ordering from
   :mod:`repro.scheduler.policies` (the serial default, latest-first,
-  min-laxity, seeded-random with geometric restarts).  Orderings never
-  change the verdict, only the time to reach it, and combinatorial
-  search times are heavy-tailed — so the *first* definitive verdict
-  wins the race and cancels the rest.  This wins even on a single
-  core: a 4-way race time-shared on one CPU still finishes ~N/4×
-  faster whenever some policy needs N× fewer states than the default.
+  min-laxity, seeded-random with geometric restarts), optionally on a
+  different successor engine (``"stateclass:earliest"`` races the
+  dense state-class search against the discrete hot path — the win on
+  wide-interval models).  Neither orderings nor engines change the
+  verdict, only the time to reach it, and combinatorial search times
+  are heavy-tailed — so the *first* definitive verdict wins the race
+  and cancels the rest.  This wins even on a single core: a 4-way race
+  time-shared on one CPU still finishes ~N/4× faster whenever some
+  slot needs N× fewer states than the default.  An optional
+  :class:`~repro.scheduler.adaptive.AdaptiveStore` orders the slot
+  rotation from prior winner statistics per model family.
 * **Work stealing** (``parallel_mode="worksteal"``) — one search is
   partitioned instead of replicated: the parent expands a breadth-first
   prefix of the space (:func:`split_frontier`), exports each frontier
@@ -67,11 +72,13 @@ from dataclasses import dataclass, field, replace
 from multiprocessing import get_context
 
 from repro.errors import SchedulingError
+from repro.scheduler.adaptive import AdaptiveStore, net_family
 from repro.scheduler.config import ENGINES, SchedulerConfig
 from repro.scheduler.dfs import PreRuntimeScheduler
 from repro.scheduler.policies import (
     default_portfolio,
     parse_policy,
+    parse_slot,
 )
 from repro.scheduler.result import SchedulerResult, SearchStats
 from repro.tpn.fastengine import SubtreeJob, export_job
@@ -197,7 +204,8 @@ def split_frontier(
     scheduler = PreRuntimeScheduler(
         net, replace(config, parallel=0), engine="incremental"
     )
-    fast = scheduler.fast
+    adapter = scheduler.adapter
+    fast = adapter.engine
     stats = SearchStats()
     started = time.monotonic()
 
@@ -216,7 +224,7 @@ def split_frontier(
             stats=stats,
         )
 
-    candidates_of = scheduler._candidates_fast
+    candidates_of = adapter.candidates_of
     reorder = scheduler._reorder
     touches_miss = net.touches_miss
     touches_final = net.touches_final
@@ -280,7 +288,7 @@ def split_frontier(
     ]
     return FrontierSplit(
         jobs=jobs,
-        seen_hashes=[state._hash for state in visited],
+        seen_hashes=[state.hash64 for state in visited],
         stats=stats,
     )
 
@@ -341,14 +349,22 @@ def _accumulate(total: dict, payload: dict) -> None:
 
 def _portfolio_worker(
     index: int,
-    policy_text: str,
+    slot_text: str,
     net: CompiledNet,
     config: SchedulerConfig,
-    engine: str,
+    default_engine: str,
     results,
     cancel,
 ) -> None:
-    """Run one complete search under one policy; report the outcome."""
+    """Run one complete search under one slot; report the outcome.
+
+    A slot is ``[engine:]policy[:seed]`` — the engine prefix races
+    successor engines as well as orderings; without one the slot
+    inherits ``default_engine`` (the scheduler's configured engine).
+    """
+    engine, policy_text = parse_slot(slot_text)
+    if engine is None:
+        engine = default_engine
     name, seed = parse_policy(policy_text)
     if seed is None:
         seed = index
@@ -369,13 +385,20 @@ def _portfolio_worker(
             scheduler.tick = tick
             return scheduler.search()
 
-        base = replace(
-            config,
+        overrides = dict(
             parallel=0,
             portfolio=(),
             policy=name,
             policy_seed=seed,
         )
+        if engine == "stateclass" and config.delay_mode != "earliest":
+            # one state class covers *every* dense firing delay, so
+            # the discrete delay-enumeration modes have nothing to
+            # enumerate for this slot — and the dense search already
+            # subsumes them: with finite LFTs a delay-enumerated
+            # discrete run is one realisation of some class path
+            overrides["delay_mode"] = "earliest"
+        base = replace(config, **overrides)
         if name == "random":
             # geometric restarts: heavy-tailed instances usually fall
             # to *some* seed quickly; doubling budgets bound the total
@@ -430,13 +453,13 @@ def _portfolio_worker(
             if result is not None and result.feasible
             else None
         )
-        results.put((kind, index, policy_text, merged, payload))
+        results.put((kind, index, slot_text, merged, payload))
     except Exception as error:  # noqa: BLE001 — workers must not die silently
         results.put(
             (
                 "error",
                 index,
-                policy_text,
+                slot_text,
                 merged,
                 f"{type(error).__name__}: {error}",
             )
@@ -533,6 +556,15 @@ class ParallelScheduler:
     worker count and ``config.parallel_mode`` picks the strategy.
     :meth:`search` blocks until a verdict is reached and every worker
     process has been reaped.
+
+    Portfolio slots are engine-aware: ``config.portfolio`` entries may
+    prefix their policy with a successor engine
+    (``"stateclass:earliest"``), racing the dense state-class search
+    against the discrete engines; unprefixed slots inherit the
+    configured engine.  An optional :class:`AdaptiveStore` seeds the
+    rotation from prior winner statistics of the net's model family
+    and records this race's winner back into the store — ordering only
+    ever permutes the slots, so the verdict contract is untouched.
     """
 
     def __init__(
@@ -540,8 +572,10 @@ class ParallelScheduler:
         net: CompiledNet,
         config: SchedulerConfig | None = None,
         engine: str | None = None,
+        adaptive: AdaptiveStore | None = None,
     ):
         self.net = net
+        self.adaptive = adaptive
         self.config = config or SchedulerConfig()
         if engine is None:
             engine = self.config.engine
@@ -570,28 +604,53 @@ class ParallelScheduler:
 
     # ------------------------------------------------------------------
     def portfolio_policies(self) -> tuple[str, ...]:
-        """The policy raced by each worker slot.
+        """The slot (``[engine:]policy[:seed]``) raced by each worker.
 
         An explicit ``config.portfolio`` is honoured (truncated to the
         worker count, padded with fresh random seeds when shorter);
-        otherwise the default rotation applies.
+        otherwise the default rotation applies.  With an
+        :class:`AdaptiveStore` attached, the rotation is reordered by
+        the net's model-family winner statistics (recorded winners
+        first; a pure permutation, so exactly the same searches race).
         """
         workers = self.config.parallel
         if not self.config.portfolio:
-            return default_portfolio(workers)
-        entries = list(self.config.portfolio[:workers])
-        used_seeds = set()
+            entries = list(default_portfolio(workers))
+        else:
+            entries = list(self.config.portfolio[:workers])
+            used_seeds = set()
+            for index, entry in enumerate(entries):
+                name, seed = parse_policy(parse_slot(entry)[1])
+                if name == "random":
+                    # unseeded entries default to the worker index
+                    used_seeds.add(index if seed is None else seed)
+            seed = 0
+            while len(entries) < workers:
+                while seed in used_seeds:
+                    seed += 1
+                used_seeds.add(seed)
+                entries.append(f"random:{seed}")
+        # pin unseeded random slots to their rotation index *before*
+        # any adaptive permutation: the worker-index fallback would
+        # otherwise resolve them post-reorder, so reordering could
+        # alias two slots onto one seed (burning a worker on a
+        # byte-identical search)
         for index, entry in enumerate(entries):
-            name, seed = parse_policy(entry)
-            if name == "random":
-                # unseeded entries default to the worker index
-                used_seeds.add(index if seed is None else seed)
-        seed = 0
-        while len(entries) < workers:
-            while seed in used_seeds:
-                seed += 1
-            used_seeds.add(seed)
-            entries.append(f"random:{seed}")
+            engine_prefix, policy = parse_slot(entry)
+            name, seed = parse_policy(policy)
+            if name == "random" and seed is None:
+                pinned = f"random:{index}"
+                entries[index] = (
+                    pinned
+                    if engine_prefix is None
+                    else f"{engine_prefix}:{pinned}"
+                )
+        if self.adaptive is not None:
+            entries = list(
+                self.adaptive.order_slots(
+                    net_family(self.net), tuple(entries)
+                )
+            )
         return tuple(entries)
 
     def search(self) -> SchedulerResult:
@@ -653,7 +712,17 @@ class ParallelScheduler:
                 exhausted=True,
                 workers=len(workers),
             )
-        kind, _index, policy, _stats, payload = winner
+        kind, _index, slot, slot_stats, payload = winner
+        slot_engine, policy = parse_slot(slot)
+        if slot_engine is None:
+            slot_engine = self.engine_mode
+        if self.adaptive is not None:
+            self.adaptive.record_win(
+                net_family(self.net),
+                slot,
+                (slot_stats or {}).get("states_visited", 0),
+            )
+            self.adaptive.save()
         if kind == "feasible":
             raw_schedule, windows = payload
             schedule = [tuple(entry) for entry in raw_schedule]
@@ -664,6 +733,7 @@ class ParallelScheduler:
                 stats=merged,
                 config=config,
                 winner_policy=policy,
+                winner_engine=slot_engine,
                 workers=len(workers),
                 interval_schedule=(
                     None
@@ -676,6 +746,7 @@ class ParallelScheduler:
             stats=merged,
             config=config,
             winner_policy=policy,
+            winner_engine=slot_engine,
             workers=len(workers),
         )
 

@@ -54,6 +54,35 @@ POLICIES = ("earliest", "latest", "min-laxity", "random")
 Reorder = Callable[[list, object], list]
 
 
+def parse_slot(text: str) -> tuple[str | None, str]:
+    """Parse a portfolio slot ``"[engine:]policy[:seed]"``.
+
+    A slot optionally prefixes the policy with a successor engine
+    (``"stateclass:earliest"``, ``"incremental:random:3"``); without a
+    prefix the slot inherits the scheduler's engine, signalled by
+    ``None``.  Engine and policy names are disjoint, so the grammar is
+    unambiguous; the policy part is validated by :func:`parse_policy`
+    (raising on unknown names or misplaced seeds).
+    """
+    # deferred import: config's validation imports this module
+    from repro.scheduler.config import ENGINES
+
+    head, sep, rest = text.partition(":")
+    head = head.strip()
+    if sep and head in ENGINES:
+        policy = rest.strip()
+        if not policy:
+            raise SchedulingError(
+                f"portfolio slot {text!r} names an engine but no "
+                "policy; write e.g. "
+                f"{head}:earliest or {head}:random:3"
+            )
+        parse_policy(policy)
+        return head, policy
+    parse_policy(text)
+    return None, text
+
+
 def parse_policy(text: str) -> tuple[str, int | None]:
     """Parse ``"name"`` or ``"name:seed"`` into ``(name, seed)``.
 

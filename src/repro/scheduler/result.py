@@ -99,6 +99,10 @@ class SchedulerResult:
         winner_policy: in a portfolio race, the policy whose search
             produced the verdict (e.g. ``"random:1"``); ``None`` for
             serial and work-stealing searches.
+        winner_engine: in a portfolio race, the successor engine of
+            the winning slot (``"incremental"``, ``"reference"`` or
+            ``"stateclass"``); with engine-aware slots this can differ
+            from ``config.engine``.  ``None`` outside portfolio races.
         workers: worker processes used (1 for a serial search).
         interval_schedule: dense-time companion of
             ``firing_schedule``, set by the state-class engine only:
@@ -117,6 +121,7 @@ class SchedulerResult:
     exhausted: bool = False
     minimum_firings: int | None = None
     winner_policy: str | None = None
+    winner_engine: str | None = None
     workers: int = 1
     interval_schedule: list[tuple[str, int, float]] | None = None
 
@@ -156,4 +161,6 @@ class SchedulerResult:
             lines.append(f"workers         : {self.workers}")
         if self.winner_policy is not None:
             lines.append(f"winning policy  : {self.winner_policy}")
+        if self.winner_engine is not None:
+            lines.append(f"winning engine  : {self.winner_engine}")
         return "\n".join(lines)

@@ -134,6 +134,18 @@ class FastState:
         """Canonical hashable key, interchangeable with :meth:`State.key`."""
         return (self.marking, self.clocks)
 
+    @property
+    def hash64(self) -> int:
+        """The precomputed canonical-pair hash, as a public value.
+
+        This is the compaction key the cross-process visited filter
+        claims (:class:`repro.scheduler.parallel.SharedVisitedFilter`)
+        and the :meth:`repro.scheduler.core.IncrementalAdapter.state_key`
+        contract; exposed for the orchestration layers so they need not
+        reach into the slot.
+        """
+        return self._hash
+
     def to_state(self) -> State:
         """Convert to the reference dataclass representation."""
         return State(self.marking, self.clocks)

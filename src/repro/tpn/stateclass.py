@@ -232,7 +232,7 @@ class StateClassEngine:
 
     def fire(self, cls: StateClass, transition: int) -> StateClass:
         """Successor class after firing ``transition``."""
-        successor = self._fire(cls, transition)
+        successor = self.try_fire(cls, transition)
         if successor is None:
             raise SchedulingError(
                 f"transition "
@@ -241,9 +241,16 @@ class StateClassEngine:
             )
         return successor
 
-    def _fire(
+    def try_fire(
         self, cls: StateClass, transition: int
     ) -> StateClass | None:
+        """Successor class, or ``None`` when the firing is infeasible.
+
+        The non-raising firing rule the scheduler's state-class
+        adapter (:class:`repro.scheduler.core.StateClassAdapter`) and
+        the graph builder drive; :meth:`fire` is the raising wrapper
+        for callers that know the transition is firable.
+        """
         if transition not in cls.enabled:
             return None
         size = len(cls.enabled) + 1
@@ -353,7 +360,7 @@ def build_state_class_graph(
         i = frontier.popleft()
         cls = graph.classes[i]
         for t in engine.firable(cls):
-            successor = engine._fire(cls, t)
+            successor = engine.try_fire(cls, t)
             if successor is None:
                 continue
             j = graph.index.get(successor)

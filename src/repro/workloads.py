@@ -243,6 +243,34 @@ def wide_interval_job_net(
     return net
 
 
+def wide_interval_race_net(
+    n_jobs: int = 4, width: int = 24
+) -> TimePetriNet:
+    """The mixed-engine portfolio bench's wide-interval race model.
+
+    An exhaustively-infeasible :func:`wide_interval_job_net` sized so
+    the two engine families genuinely diverge: under a delay-
+    enumerating discrete search (``delay_mode="full"``) the integer
+    state space grows with the release-window ``width``, while the
+    state-class graph stays width-independent — so a
+    ``stateclass:earliest`` portfolio slot reaches the definitive
+    infeasible verdict well before the discrete slots even on a
+    single time-shared core.  One definition shared by
+    ``benchmarks/bench_parallel_dfs.py`` and
+    :func:`repro.scheduler.adaptive.bench_model_families`, so the
+    recorded winner statistics warm-start the same fingerprint a live
+    race computes.
+    """
+    return wide_interval_job_net(
+        n_jobs=n_jobs,
+        width=width,
+        computations=(1, 2, 2, 3),
+        release_offsets=(0, 1, 2, 3),
+        feasible=False,
+        name=f"wide-race-n{n_jobs}-w{width}",
+    )
+
+
 def wide_interval_family(
     widths: tuple[int, ...] = (4, 6, 8),
     n_jobs: int = 3,

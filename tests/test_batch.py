@@ -578,3 +578,98 @@ class TestSchedulerMonotonicBudget:
         )
         assert not result.feasible
         assert result.exhausted
+
+
+class TestHardestFirstOrdering:
+    """ISSUE 5 satellite: adaptive hardest-first job dispatch.
+
+    The contract: ordering jobs by predicted states changes
+    *completion order only* — outcomes, JSONL bytes and cache
+    behaviour stay in submission order — and the mode is surfaced on
+    ``BatchStats``.
+    """
+
+    def _campaign(self, **engine_kwargs):
+        engine = BatchEngine(max_workers=2, **engine_kwargs)
+        grid = CampaignGrid(
+            n_tasks=(2, 3), utilizations=(0.4, 0.8), seeds=(0,)
+        )
+        return engine.run(grid.jobs(engine))
+
+    def test_jsonl_is_identical_either_way(self):
+        ordered = self._campaign(hardest_first=True)
+        plain = self._campaign(hardest_first=False)
+        assert ordered.to_jsonl() == plain.to_jsonl()
+        assert ordered.stats.hardest_first
+        assert not plain.stats.hardest_first
+        assert "hardest_first" in ordered.stats.as_dict()
+        assert "hardest-first" in ordered.summary()
+
+    def test_dispatch_order_is_hardest_first(self, monkeypatch):
+        """With one worker the execution order is observable: the
+        predicted-hardest job must run first, while outcomes keep
+        submission order."""
+        import repro.batch.engine as engine_module
+
+        executed: list[str] = []
+        real_execute = engine_module.execute_job
+
+        def recording_execute(job):
+            executed.append(job.spec.name)
+            return real_execute(job)
+
+        monkeypatch.setattr(
+            engine_module, "execute_job", recording_execute
+        )
+        easy = random_task_set(2, 0.3, seed=0)
+        hard = random_task_set(
+            5, 0.9, seed=1, preemptive_fraction=1.0
+        )
+        engine = BatchEngine(
+            max_workers=1,
+            scheduler_config=SchedulerConfig(max_states=5_000),
+        )
+        result = engine.run([easy, hard])
+        assert executed[0] == hard.name  # hardest dispatched first
+        assert [o.spec_name for o in result.outcomes] == [
+            easy.name,
+            hard.name,
+        ]  # submission order preserved
+
+    def test_prediction_refined_by_adaptive_store(self):
+        from repro.scheduler import AdaptiveStore, spec_family
+
+        spec = random_task_set(2, 0.3, seed=0)
+        store = AdaptiveStore()
+        engine = BatchEngine(max_workers=1, adaptive=store)
+        job = engine.make_job(spec)
+        heuristic = engine._predicted_states(job)
+        store.record_job(spec_family(spec), 10 * int(heuristic) + 1)
+        assert engine._predicted_states(job) > heuristic
+
+    def test_run_records_outcomes_into_the_store(self):
+        from repro.scheduler import AdaptiveStore, spec_family
+
+        store = AdaptiveStore()
+        spec = fig3_precedence()
+        engine = BatchEngine(max_workers=1, adaptive=store)
+        engine.run([spec])
+        assert store.predicted_states(spec_family(spec), -1.0) > 0
+
+    def test_cli_flag_disables_ordering(self, tmp_path, capsys):
+        out = tmp_path / "rows.jsonl"
+        assert (
+            main(
+                [
+                    "batch",
+                    "@fig3",
+                    "--no-hardest-first",
+                    "--jobs",
+                    "1",
+                    "-o",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert out.exists()

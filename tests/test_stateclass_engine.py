@@ -330,7 +330,7 @@ class TestStateClassEngineInternals:
                 }
                 assert cheap == closure
                 for t in cheap:
-                    child = engine._fire(cls, t)
+                    child = engine.try_fire(cls, t)
                     if child is not None and child not in seen:
                         seen.add(child)
                         frontier.append(child)
