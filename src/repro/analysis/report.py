@@ -147,6 +147,11 @@ def campaign_report(rows: list[dict], stats: dict) -> str:
             f"result cache     : {stats.get('cache_hits', 0)} hit(s), "
             f"{stats.get('cache_misses', 0)} miss(es) "
             f"({100.0 * stats.get('hit_rate', 0.0):.0f}% hit rate)"
+            + (
+                f", {stats['cache_bytes']:,} byte(s) served"
+                if stats.get("cache_bytes")
+                else ""
+            )
         )
     if stats.get("deduplicated"):
         lines.append(

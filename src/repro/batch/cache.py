@@ -155,15 +155,18 @@ class ResultCache:
     ``JobOutcome.to_dict()`` payloads).  With a ``directory`` every
     ``put`` is persisted as ``<key>.json`` via an atomic rename, so
     concurrent campaigns sharing a directory never read torn files.
-    ``hits``/``misses`` count :meth:`get` calls for the campaign
-    report's hit-rate line.
+    ``hits``/``misses`` count :meth:`get` calls and ``bytes_served``
+    sums the canonical-JSON size of every hit — the campaign report's
+    hit-rate and bytes-from-cache lines read all three.
     """
 
     def __init__(self, directory: str | None = None):
         self.directory = directory
         self._memory: dict[str, dict] = {}
+        self._sizes: dict[str, int] = {}
         self.hits = 0
         self.misses = 0
+        self.bytes_served = 0
         if directory:
             os.makedirs(directory, exist_ok=True)
 
@@ -171,6 +174,18 @@ class ResultCache:
     def _path(self, key: str) -> str:
         assert self.directory is not None
         return os.path.join(self.directory, f"{key}.json")
+
+    def _size_of(self, key: str, payload: dict) -> int:
+        """Canonical-JSON byte size of a payload, memoised per key."""
+        size = self._sizes.get(key)
+        if size is None:
+            size = len(
+                json.dumps(
+                    payload, sort_keys=True, separators=(",", ":")
+                ).encode("utf-8")
+            )
+            self._sizes[key] = size
+        return size
 
     def get(self, key: str) -> dict | None:
         """Stored payload for ``key``, counting the hit or miss."""
@@ -189,11 +204,13 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        self.bytes_served += self._size_of(key, payload)
         return payload
 
     def put(self, key: str, payload: dict) -> None:
         """Store ``payload`` under ``key`` (memory, then disk)."""
         self._memory[key] = payload
+        self._sizes.pop(key, None)
         if not self.directory:
             return
         fd, temp_path = tempfile.mkstemp(
@@ -228,6 +245,7 @@ class ResultCache:
     def clear(self) -> None:
         """Drop every entry (memory and disk)."""
         self._memory.clear()
+        self._sizes.clear()
         if self.directory:
             for name in os.listdir(self.directory):
                 if name.endswith(".json"):
@@ -238,4 +256,5 @@ class ResultCache:
             "entries": len(self),
             "hits": self.hits,
             "misses": self.misses,
+            "bytes_served": self.bytes_served,
         }

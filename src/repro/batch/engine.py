@@ -41,11 +41,14 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
 
 from repro.batch.cache import ResultCache
+from repro.obs.events import NULL_RECORDER, JsonlSink, Recorder
+from repro.obs.metrics import MetricsRegistry
 from repro.batch.job import (
     BatchJob,
     JobOutcome,
@@ -84,6 +87,9 @@ class BatchStats:
     error: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: bytes served from the result cache (canonical-JSON size of
+    #: every hit payload), read off ``ResultCache.bytes_served``
+    cache_bytes: int = 0
     deduplicated: int = 0
     wall_seconds: float = 0.0
     job_seconds: float = 0.0
@@ -98,6 +104,10 @@ class BatchStats:
     #: by predicted states per model-family fingerprint); ordering
     #: changes completion order only, never outcomes or JSONL content
     hardest_first: bool = False
+    #: :mod:`repro.obs` metrics snapshot of the run
+    #: (``{"counters", "gauges", "histograms"}``): cache
+    #: hits/misses/bytes, executed and deduplicated job counts
+    metrics: dict = field(default_factory=dict)
 
     @property
     def jobs_per_second(self) -> float:
@@ -128,6 +138,7 @@ class BatchStats:
             "error": self.error,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_bytes": self.cache_bytes,
             "deduplicated": self.deduplicated,
             "hit_rate": self.hit_rate,
             "wall_seconds": self.wall_seconds,
@@ -184,6 +195,11 @@ class BatchResult:
             + (
                 f" ({100.0 * s.hit_rate:.0f}% hit rate)"
                 if s.cache_hits + s.cache_misses
+                else ""
+            )
+            + (
+                f", {s.cache_bytes:,} byte(s) served from cache"
+                if s.cache_bytes
                 else ""
             ),
         ]
@@ -244,6 +260,10 @@ class BatchEngine:
             visited counts; executed outcomes are recorded back into
             it after the run.  ``None`` falls back to the pure
             heuristic.
+        progress: stream ``[progress] batch: done/total`` lines to
+            stderr as executed jobs complete (``ezrt batch
+            --progress``).  Completion-driven and rate-limited; it
+            never touches outcomes or JSONL bytes.
     """
 
     def __init__(
@@ -260,6 +280,7 @@ class BatchEngine:
         cores: int | None = None,
         hardest_first: bool = True,
         adaptive: AdaptiveStore | None = None,
+        progress: bool = False,
     ):
         self.composer_options = composer_options or ComposerOptions()
         self.scheduler_config = scheduler_config or SchedulerConfig()
@@ -291,6 +312,10 @@ class BatchEngine:
         self.store_schedules = store_schedules
         self.hardest_first = hardest_first
         self.adaptive = adaptive
+        #: stream ``[progress] batch: done/total`` heartbeat lines to
+        #: stderr as jobs complete (completion-driven, rate-limited;
+        #: per-job search heartbeats are a separate scheduler knob)
+        self.progress = progress
 
     # ------------------------------------------------------------------
     def make_job(
@@ -330,32 +355,47 @@ class BatchEngine:
         )
         outcomes: list[JobOutcome | None] = [None] * len(jobs)
         started = time.monotonic()
+        # parent-side recorder: the cache-lookup phase and the whole
+        # run get spans on a "batch" track in the same JSONL sink the
+        # per-job workers append their compile/search spans to
+        obs = NULL_RECORDER
+        if getattr(self.scheduler_config, "trace_jsonl", None):
+            obs = Recorder(
+                JsonlSink(self.scheduler_config.trace_jsonl),
+                track="batch",
+            )
+        run_t0 = obs.now_ns()
+        # cache accounting by counter delta, not ad-hoc increments:
+        # the cache is the single source of truth for hits, misses and
+        # bytes served (a shared cache may be warm from another run)
+        if self.cache is not None:
+            hits_before = self.cache.hits
+            misses_before = self.cache.misses
+            bytes_before = self.cache.bytes_served
 
         pending: list[int] = []
         first_with_key: dict[str, int] = {}
         followers: dict[int, list[int]] = {}
-        for index, job in enumerate(jobs):
-            key = job.key()
-            cached = (
-                self.cache.get(key)
-                if self.cache is not None
-                else None
-            )
-            if cached is not None:
-                outcomes[index] = self._replay(cached, job)
-                stats.cache_hits += 1
-                continue
-            if self.cache is not None:
-                stats.cache_misses += 1
-            leader = first_with_key.get(key)
-            if leader is None:
-                first_with_key[key] = index
-                pending.append(index)
-            else:
-                # duplicate point inside one batch: execute once,
-                # fan the outcome out afterwards
-                followers.setdefault(leader, []).append(index)
-                stats.deduplicated += 1
+        with obs.span("cache-lookup", cat="batch", jobs=len(jobs)):
+            for index, job in enumerate(jobs):
+                key = job.key()
+                cached = (
+                    self.cache.get(key)
+                    if self.cache is not None
+                    else None
+                )
+                if cached is not None:
+                    outcomes[index] = self._replay(cached, job)
+                    continue
+                leader = first_with_key.get(key)
+                if leader is None:
+                    first_with_key[key] = index
+                    pending.append(index)
+                else:
+                    # duplicate point inside one batch: execute once,
+                    # fan the outcome out afterwards
+                    followers.setdefault(leader, []).append(index)
+                    stats.deduplicated += 1
 
         if self.hardest_first and len(pending) > 1:
             # hardest-first dispatch: predicted states per job (the
@@ -370,12 +410,14 @@ class BatchEngine:
             pending.sort(key=lambda index: (-predicted[index], index))
             stats.hardest_first = True
 
+        note_done = self._progress_printer(len(pending))
         if pending:
             if self.max_workers <= 1 or len(pending) == 1:
                 for index in pending:
                     outcomes[index] = execute_job(jobs[index])
+                    note_done()
             else:
-                self._run_pooled(jobs, pending, outcomes)
+                self._run_pooled(jobs, pending, outcomes, note_done)
 
         for index in pending:
             outcome = outcomes[index]
@@ -408,6 +450,30 @@ class BatchEngine:
             self.adaptive.save()
 
         stats.wall_seconds = time.monotonic() - started
+        if self.cache is not None:
+            stats.cache_hits = self.cache.hits - hits_before
+            stats.cache_misses = self.cache.misses - misses_before
+            stats.cache_bytes = (
+                self.cache.bytes_served - bytes_before
+            )
+        registry = MetricsRegistry()
+        registry.inc("batch.jobs.total", len(jobs))
+        registry.inc("batch.jobs.executed", len(pending))
+        registry.inc("batch.jobs.deduplicated", stats.deduplicated)
+        if self.cache is not None:
+            registry.inc("batch.cache.hits", stats.cache_hits)
+            registry.inc("batch.cache.misses", stats.cache_misses)
+            registry.inc(
+                "batch.cache.bytes_served", stats.cache_bytes
+            )
+        stats.metrics = registry.snapshot()
+        obs.record_span(
+            "batch-run",
+            run_t0,
+            obs.now_ns(),
+            cat="batch",
+            args={"jobs": len(jobs), "executed": len(pending)},
+        )
         executed = set(pending)
         result_outcomes: list[JobOutcome] = []
         for index, outcome in enumerate(outcomes):
@@ -448,11 +514,38 @@ class BatchEngine:
         outcome.meta = dict(job.meta)
         return outcome
 
+    def _progress_printer(self, total: int):
+        """Completion-driven ``[progress] batch`` heartbeat closure.
+
+        Rate-limited on wall-clock like the search heartbeat, but
+        always prints the final completion so a short batch still
+        reports; a no-op callable when ``progress`` is off.
+        """
+        if not self.progress or total == 0:
+            return lambda: None
+        state = {"done": 0, "last": time.monotonic()}
+
+        def note_done() -> None:
+            state["done"] += 1
+            now = time.monotonic()
+            if state["done"] < total and now - state["last"] < 0.5:
+                return
+            state["last"] = now
+            print(
+                f"[progress] batch: {state['done']}/{total} "
+                f"job(s) executed",
+                file=sys.stderr,
+                flush=True,
+            )
+
+        return note_done
+
     def _run_pooled(
         self,
         jobs: list[BatchJob],
         pending: list[int],
         outcomes: list[JobOutcome | None],
+        note_done=lambda: None,
     ) -> None:
         workers = min(self.max_workers, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -473,3 +566,4 @@ class BatchEngine:
                         error=f"{type(err).__name__}: {err}",
                         meta=dict(jobs[index].meta),
                     )
+                note_done()

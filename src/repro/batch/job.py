@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field, replace
 
 from repro.batch.cache import cache_key
+from repro.obs.events import NULL_RECORDER, JsonlSink, Recorder
 from repro.blocks.composer import ComposerOptions, compose
 from repro.codegen import generate_project
 from repro.scheduler.config import SchedulerConfig
@@ -226,8 +227,19 @@ def execute_job(job: BatchJob) -> JobOutcome:
         meta=dict(job.meta),
     )
     config = job.effective_config()
+    # per-job recorder on a "job:<name>" track; the search itself
+    # records its own spans through the scheduler's recorder, both
+    # appending to the same O_APPEND sink
+    obs = NULL_RECORDER
+    if getattr(config, "trace_jsonl", None):
+        obs = Recorder(
+            JsonlSink(config.trace_jsonl),
+            track=f"job:{job.spec.name}",
+        )
     try:
-        model = compose(job.spec, job.options)
+        with obs.span("compile", cat="batch", spec=job.spec.name):
+            model = compose(job.spec, job.options)
+            model.compiled()
         # one compilation per job: find_schedule populates the model's
         # compiled-net cache, and the codegen/simulate stages below all
         # operate on the same `model` instead of re-freezing the net
@@ -247,15 +259,21 @@ def execute_job(job: BatchJob) -> JobOutcome:
             if job.codegen_target or job.simulate:
                 schedule = schedule_from_result(model, result)
                 if job.codegen_target:
-                    project = generate_project(
-                        model, schedule, job.codegen_target
-                    )
+                    with obs.span(
+                        "codegen",
+                        cat="batch",
+                        target=job.codegen_target,
+                    ):
+                        project = generate_project(
+                            model, schedule, job.codegen_target
+                        )
                     outcome.codegen_files = len(project.files)
                 if job.simulate:
-                    machine_result = run_schedule(model, schedule)
-                    outcome.trace_violations = len(
-                        verify_trace(model, machine_result)
-                    )
+                    with obs.span("simulate", cat="batch"):
+                        machine_result = run_schedule(model, schedule)
+                        outcome.trace_violations = len(
+                            verify_trace(model, machine_result)
+                        )
         else:
             timed_out = (
                 result.exhausted

@@ -24,7 +24,10 @@ Subcommands mirror the stages of the ezRealtime architecture:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import tempfile
+from dataclasses import replace
 
 from repro.errors import EzRealtimeError
 from repro.analysis import (
@@ -35,6 +38,8 @@ from repro.analysis import (
 from repro.batch import BatchEngine, CampaignGrid, ResultCache
 from repro.blocks import BlockStyle, ComposerOptions, compose
 from repro.codegen import TARGETS, generate_project
+from repro.obs import NULL_RECORDER, JsonlSink, Recorder
+from repro.obs.trace import write_chrome_trace
 from repro.pnml import save as pnml_save
 from repro.scheduler import (
     ENGINES,
@@ -86,7 +91,54 @@ def _scheduler_config(args) -> SchedulerConfig:
         parallel=args.parallel,
         parallel_mode=args.parallel_mode,
         portfolio=portfolio,
+        trace_jsonl=getattr(args, "_trace_jsonl", None),
+        progress=getattr(args, "progress", False),
     )
+
+
+def _start_trace(args):
+    """Arrange span recording for ``--trace``; returns a finalizer.
+
+    Spans are recorded into a temporary JSONL sidecar (its O_APPEND
+    writes are process-safe, so pool and portfolio workers all share
+    it) and folded into the Chrome trace-event file once the command
+    is done.  Without ``--trace`` the finalizer is a no-op and the
+    config carries no sink, so nothing is recorded.
+    """
+    if not getattr(args, "trace", None):
+        args._trace_jsonl = None
+        return lambda: None
+    fd, jsonl_path = tempfile.mkstemp(
+        prefix="ezrt-trace-", suffix=".jsonl"
+    )
+    os.close(fd)
+    args._trace_jsonl = jsonl_path
+
+    def finalize() -> None:
+        try:
+            write_chrome_trace(jsonl_path, args.trace)
+        finally:
+            try:
+                os.unlink(jsonl_path)
+            except OSError:
+                pass
+        print(
+            f"wrote Chrome trace to {args.trace} "
+            "(open in Perfetto or chrome://tracing)"
+        )
+
+    return finalize
+
+
+def _compose_traced(spec, args, config):
+    """Compose (and compile) under a ``compile`` span when tracing."""
+    obs = NULL_RECORDER
+    if config.trace_jsonl:
+        obs = Recorder(JsonlSink(config.trace_jsonl), track="cli")
+    with obs.span("compile", cat="compile", spec=spec.name):
+        model = compose(spec, _composer_options(args))
+        model.compiled()
+    return model
 
 
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
@@ -188,6 +240,24 @@ def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
             "a built-in rotation sized to --parallel"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help=(
+            "record compile/search/cache spans and write a Chrome "
+            "trace-event file (open in Perfetto or chrome://tracing); "
+            "portfolio and pool workers get one track each"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "stream progress lines to stderr while searching "
+            "(states visited/generated, frontier depth, rate)"
+        ),
+    )
 
 
 def _cmd_validate(args) -> int:
@@ -221,66 +291,87 @@ def _cmd_compile(args) -> int:
 
 def _cmd_schedule(args) -> int:
     spec = _load_spec(args.spec)
-    model = compose(spec, _composer_options(args))
-    result = find_schedule(model, _scheduler_config(args))
-    if not result.feasible:
-        print(full_report(model, result))
+    finalize_trace = _start_trace(args)
+    try:
+        config = _scheduler_config(args)
+        model = _compose_traced(spec, args, config)
+        result = find_schedule(model, config)
+        if not result.feasible:
+            print(full_report(model, result))
+            if args.profile:
+                print(
+                    "\nsearch profile:\n"
+                    + result.stats.profile(result.metrics)
+                )
+            return 1
+        schedule = schedule_from_result(model, result)
+        print(full_report(model, result, schedule, gantt=args.gantt))
         if args.profile:
-            print("\nsearch profile:\n" + result.stats.profile())
-        return 1
-    schedule = schedule_from_result(model, result)
-    print(full_report(model, result, schedule, gantt=args.gantt))
-    if args.profile:
-        print("\nsearch profile:\n" + result.stats.profile())
-        if result.interval_schedule is not None:
-            # per-firing dense window + slack column, with the
-            # total-slack summary line (scheduling freedom left)
             print(
-                "\ndense firing windows (stateclass engine):\n"
-                + interval_slack_report(result, limit=40)
+                "\nsearch profile:\n"
+                + result.stats.profile(result.metrics)
             )
-    return 0
+            if result.interval_schedule is not None:
+                # per-firing dense window + slack column, with the
+                # total-slack summary line (scheduling freedom left)
+                print(
+                    "\ndense firing windows (stateclass engine):\n"
+                    + interval_slack_report(result, limit=40)
+                )
+        return 0
+    finally:
+        finalize_trace()
 
 
 def _cmd_codegen(args) -> int:
     spec = _load_spec(args.spec)
-    model = compose(spec, _composer_options(args))
-    result = find_schedule(model, _scheduler_config(args))
-    if not result.feasible:
-        print("no feasible schedule; cannot generate code")
-        return 1
-    schedule = schedule_from_result(model, result)
-    project = generate_project(model, schedule, args.target)
-    paths = project.write(args.output)
-    print(f"generated {len(paths)} file(s) in {args.output}:")
-    for path in paths:
-        print(f"  {path}")
-    return 0
+    finalize_trace = _start_trace(args)
+    try:
+        config = _scheduler_config(args)
+        model = _compose_traced(spec, args, config)
+        result = find_schedule(model, config)
+        if not result.feasible:
+            print("no feasible schedule; cannot generate code")
+            return 1
+        schedule = schedule_from_result(model, result)
+        project = generate_project(model, schedule, args.target)
+        paths = project.write(args.output)
+        print(f"generated {len(paths)} file(s) in {args.output}:")
+        for path in paths:
+            print(f"  {path}")
+        return 0
+    finally:
+        finalize_trace()
 
 
 def _cmd_simulate(args) -> int:
     spec = _load_spec(args.spec)
-    model = compose(spec, _composer_options(args))
-    result = find_schedule(model, _scheduler_config(args))
-    if not result.feasible:
-        print("no feasible schedule; nothing to simulate")
-        return 1
-    schedule = schedule_from_result(model, result)
-    machine_result = run_schedule(
-        model, schedule, dispatch_overhead=args.overhead
-    )
-    violations = verify_trace(model, machine_result)
-    print(machine_result.trace.summary())
-    if violations:
-        print("trace verification FAILED:")
-        for violation in violations[:20]:
-            print(f"  - {violation}")
-        return 1
-    print(
-        f"trace verified: {len(machine_result.completions)} instance "
-        "completions, all constraints met"
-    )
-    return 0
+    finalize_trace = _start_trace(args)
+    try:
+        config = _scheduler_config(args)
+        model = _compose_traced(spec, args, config)
+        result = find_schedule(model, config)
+        if not result.feasible:
+            print("no feasible schedule; nothing to simulate")
+            return 1
+        schedule = schedule_from_result(model, result)
+        machine_result = run_schedule(
+            model, schedule, dispatch_overhead=args.overhead
+        )
+        violations = verify_trace(model, machine_result)
+        print(machine_result.trace.summary())
+        if violations:
+            print("trace verification FAILED:")
+            for violation in violations[:20]:
+                print(f"  - {violation}")
+            return 1
+        print(
+            f"trace verified: {len(machine_result.completions)} "
+            "instance completions, all constraints met"
+        )
+        return 0
+    finally:
+        finalize_trace()
 
 
 def _parse_int_list(text: str) -> tuple[int, ...]:
@@ -332,9 +423,22 @@ def _cmd_batch(args) -> int:
     # in-batch duplicates are deduplicated anyway), so only build one
     # when there is a directory to persist it in
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    finalize_trace = _start_trace(args)
+    try:
+        return _run_batch(args, cache)
+    finally:
+        finalize_trace()
+
+
+def _run_batch(args, cache) -> int:
+    # batch progress is job-completion driven; per-job search
+    # heartbeats would interleave on stderr, so strip the flag from
+    # the scheduler config the jobs inherit
     engine = BatchEngine(
         composer_options=_composer_options(args),
-        scheduler_config=_scheduler_config(args),
+        scheduler_config=replace(
+            _scheduler_config(args), progress=False
+        ),
         max_workers=args.jobs,
         job_timeout=args.timeout,
         cache=cache,
@@ -342,6 +446,7 @@ def _cmd_batch(args) -> int:
         simulate=args.simulate,
         cores=args.cores,
         hardest_first=not args.no_hardest_first,
+        progress=args.progress,
     )
     jobs = [
         engine.make_job(_load_spec(ref), meta={"source": ref})

@@ -1,0 +1,156 @@
+"""Export recorded JSONL events as Chrome trace-event JSON.
+
+The output follows the Trace Event Format's JSON-object flavour
+(``{"traceEvents": [...]}``) so one file opens directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* every recorded process becomes a trace process (``"M"`` metadata
+  event ``process_name``), every logical track inside it a thread
+  (``thread_name``) — so a portfolio race renders as one row per
+  worker slot;
+* spans become complete events (``"ph": "X"``) with microsecond
+  ``ts``/``dur`` (the recorder's nanoseconds divided by 1000);
+* instants become ``"ph": "i"`` (thread-scoped), counter samples
+  ``"ph": "C"`` — Perfetto plots those as the states/sec and depth
+  curves of the progress heartbeat.
+
+``normalize=True`` rebases timestamps to zero and renumbers pids
+``1..n`` (in first-seen-timestamp order): runs of the same model then
+produce structurally comparable traces, which is what the
+deterministic-structure tests compare.  Track-to-tid assignment is
+always deterministic (sorted track names per pid).
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def read_events(path: str) -> list[dict]:
+    """Parse a recorded JSONL event file.
+
+    Unparseable lines are skipped rather than fatal: a worker killed
+    mid-write (the ``terminate()`` backstop) can leave one torn tail
+    line, and losing observability data must never fail the run that
+    produced it.
+    """
+    events: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(event, dict) and "ts" in event:
+                events.append(event)
+    return events
+
+
+def chrome_trace(events: list[dict], normalize: bool = False) -> dict:
+    """Convert recorded events into a Chrome trace-event document."""
+    if not events:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    pids = sorted({event.get("pid", 0) for event in events})
+    if normalize:
+        first_seen = {
+            pid: min(
+                event["ts"]
+                for event in events
+                if event.get("pid", 0) == pid
+            )
+            for pid in pids
+        }
+        pids.sort(key=lambda pid: (first_seen[pid], pid))
+        pid_map = {pid: index + 1 for index, pid in enumerate(pids)}
+        base_ts = min(event["ts"] for event in events)
+    else:
+        pid_map = {pid: pid for pid in pids}
+        base_ts = 0
+
+    tracks_of: dict[int, set[str]] = {}
+    for event in events:
+        tracks_of.setdefault(event.get("pid", 0), set()).add(
+            event.get("track", "main")
+        )
+    tid_map = {
+        (pid, track): tid
+        for pid in pids
+        for tid, track in enumerate(sorted(tracks_of[pid]), start=1)
+    }
+
+    trace_events: list[dict] = []
+    for pid in pids:
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid_map[pid],
+                "tid": 0,
+                "args": {"name": "ezrt"},
+            }
+        )
+        for track in sorted(tracks_of[pid]):
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid_map[pid],
+                    "tid": tid_map[(pid, track)],
+                    "args": {"name": track},
+                }
+            )
+
+    for event in sorted(
+        events,
+        key=lambda e: (e["ts"], e.get("pid", 0), e.get("name", "")),
+    ):
+        pid = event.get("pid", 0)
+        track = event.get("track", "main")
+        ts_us = (event["ts"] - base_ts) / 1000.0
+        common = {
+            "name": event.get("name", "?"),
+            "pid": pid_map[pid],
+            "tid": tid_map[(pid, track)],
+            "ts": ts_us,
+        }
+        kind = event.get("type")
+        if kind == "span":
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "cat": event.get("cat", "search"),
+                    "dur": event.get("dur", 0) / 1000.0,
+                    "args": event.get("args", {}),
+                    **common,
+                }
+            )
+        elif kind == "instant":
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "cat": event.get("cat", "search"),
+                    "s": "t",
+                    "args": event.get("args", {}),
+                    **common,
+                }
+            )
+        elif kind == "counter":
+            trace_events.append(
+                {"ph": "C", "args": event.get("values", {}), **common}
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    jsonl_path: str, out_path: str, normalize: bool = False
+) -> str:
+    """Convert a recorded JSONL file into a Chrome trace JSON file."""
+    document = chrome_trace(read_events(jsonl_path), normalize=normalize)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+    return out_path

@@ -178,7 +178,10 @@ class AdaptiveStore:
     """Per-family slot-win and hardness statistics, optionally on disk.
 
     The JSON layout is ``{"version", "families": {family: {"slots":
-    {slot: {"wins", "states"}}, "jobs": {"runs", "states"}}}}``.  With
+    {slot: {"wins", "states", "seconds", "runs", "near"}}, "jobs":
+    {"runs", "states"}}}}`` (the three timing keys are settled lazily,
+    so stores written before the wall-clock refinement load fine).
+    With
     a ``path`` the store loads existing statistics at construction and
     :meth:`save` persists atomically (write + rename), so concurrent
     readers never see torn files; without one it is memory-only.
@@ -206,15 +209,60 @@ class AdaptiveStore:
             family, {"slots": {}, "jobs": {"runs": 0, "states": 0}}
         )
 
+    def _slot_entry(self, family: str, slot: str) -> dict:
+        entry = self._family(family)["slots"].setdefault(
+            slot, {"wins": 0, "states": 0}
+        )
+        # stores written before the wall-clock refinement lack the
+        # timing keys; settle them on first touch
+        entry.setdefault("seconds", 0.0)
+        entry.setdefault("runs", 0)
+        entry.setdefault("near", 0)
+        return entry
+
     def record_win(
         self, family: str, slot: str, states_visited: int = 0
     ) -> None:
         """Credit ``slot`` with a race win on ``family``."""
-        entry = self._family(family)["slots"].setdefault(
-            slot, {"wins": 0, "states": 0}
-        )
+        entry = self._slot_entry(family, slot)
         entry["wins"] += 1
         entry["states"] += int(states_visited)
+
+    def record_slot_time(
+        self,
+        family: str,
+        slot: str,
+        seconds: float,
+        near: bool = False,
+    ) -> None:
+        """Record one race's wall-clock for ``slot`` on ``family``.
+
+        ``near`` credits a *near win*: the slot reached a definitive
+        verdict on its own but another slot got there first.  Ordering
+        by ``(wins, near, mean seconds)`` means a narrowly-losing
+        diverse slot keeps a place near the front instead of being
+        starved forever by a single historical winner.
+        """
+        entry = self._slot_entry(family, slot)
+        entry["seconds"] += float(seconds)
+        entry["runs"] += 1
+        if near:
+            entry["near"] += 1
+
+    def decay_family(self, family: str, factor: float = 0.95) -> None:
+        """Decay the family's win/near credit by ``factor``.
+
+        Called once per race before the new win is recorded, so old
+        wins fade geometrically and a slot that stopped winning loses
+        its head start within a few dozen races.  Counts become floats;
+        consumers only compare, so ``1.0`` reads like ``1``.
+        """
+        slots = self._families.get(family, {}).get("slots")
+        if not slots:
+            return
+        for entry in slots.values():
+            entry["wins"] = entry.get("wins", 0) * factor
+            entry["near"] = entry.get("near", 0) * factor
 
     def record_job(self, family: str, states_visited: int) -> None:
         """Record one search's visited count for hardness prediction."""
@@ -230,19 +278,37 @@ class AdaptiveStore:
     def order_slots(
         self, family: str, slots: tuple[str, ...]
     ) -> tuple[str, ...]:
-        """Reorder a slot rotation by the family's past wins.
+        """Reorder a slot rotation by the family's recorded statistics.
 
-        Recorded winners move to the front (most wins first); slots
-        the store knows nothing about keep their relative rotation
-        order behind them.  The ordering is a pure permutation — no
-        slot is added or dropped, so the race's verdict contract is
+        Sort key, most significant first: decayed race wins, then
+        *near wins* (definitive verdicts that lost the race — the
+        refinement that keeps a narrowly-losing diverse slot from
+        being starved), then mean recorded wall-clock (fastest first;
+        slots the store knows nothing about tie at zero and keep their
+        relative rotation order).  The ordering is a pure permutation —
+        no slot is added or dropped, so the race's verdict contract is
         untouched.
         """
-        wins = self.wins(family)
-        if not wins:
+        slot_stats = self._families.get(family, {}).get("slots", {})
+        if not slot_stats:
             return tuple(slots)
+
+        def sort_key(pair):
+            index, slot = pair
+            entry = slot_stats.get(slot, {})
+            runs = entry.get("runs", 0)
+            mean_seconds = (
+                entry.get("seconds", 0.0) / runs if runs else 0.0
+            )
+            return (
+                -entry.get("wins", 0),
+                -entry.get("near", 0),
+                mean_seconds,
+                index,
+            )
+
         indexed = list(enumerate(slots))
-        indexed.sort(key=lambda pair: (-wins.get(pair[1], 0), pair[0]))
+        indexed.sort(key=sort_key)
         return tuple(slot for _index, slot in indexed)
 
     def predicted_states(self, family: str, default: float) -> float:

@@ -43,7 +43,13 @@ the ablation benches sweep:
   policy with an engine name races successor *engines* as well as
   orderings (e.g. ``("incremental:earliest", "stateclass:earliest")``
   pits the dense state-class search against the discrete hot path on
-  wide-interval models); unprefixed slots inherit ``engine``.
+  wide-interval models); unprefixed slots inherit ``engine``;
+* the observability knobs (:mod:`repro.obs`) — ``trace_jsonl``
+  (when set, every pipeline phase records spans into this JSONL file;
+  the CLI converts it to a Chrome trace viewable in Perfetto) and
+  ``progress`` (stream ``[progress]`` heartbeat lines to stderr).
+  Neither changes the search: tracing only observes, and the batch
+  cache fingerprint deliberately excludes both.
 """
 
 from __future__ import annotations
@@ -79,6 +85,11 @@ class SchedulerConfig:
     parallel: int = 0
     parallel_mode: str = "portfolio"
     portfolio: tuple[str, ...] = field(default_factory=tuple)
+    #: observability (repro.obs): JSONL span/event sink path (None =
+    #: tracing off, the no-op recorder) and heartbeat streaming —
+    #: neither affects the search verdict or the cache fingerprint
+    trace_jsonl: str | None = None
+    progress: bool = False
 
     def __post_init__(self) -> None:
         if self.priority_mode not in PRIORITY_MODES:

@@ -43,6 +43,7 @@ import time
 from typing import Protocol, runtime_checkable
 
 from repro.errors import SchedulingError
+from repro.obs.events import NULL_RECORDER
 from repro.scheduler.result import SchedulerResult, SearchStats
 from repro.tpn.fastengine import FastState, IncrementalEngine
 from repro.tpn.interval import INF
@@ -250,6 +251,12 @@ def order_and_expand(
 
 class _AdapterBase:
     """Config/net knobs every adapter hoists once per search."""
+
+    #: Span recorder for adapter-side phases (the state-class adapter's
+    #: concretisation and reference replay).  The class default is the
+    #: shared no-op recorder; the scheduler shell swaps in a live one
+    #: when ``config.trace_jsonl`` is set.
+    obs = NULL_RECORDER
 
     def __init__(self, net: CompiledNet, config):
         self.net = net
@@ -598,17 +605,19 @@ class StateClassAdapter(_AdapterBase):
 
     def finalize_path(self, actions, stats):
         sequence = [t for t, _q, _at in actions]
-        realized = realize_firing_sequence(
-            self.net, sequence, self.config.reset_policy
-        )
+        with self.obs.span("concretisation", cat="stateclass"):
+            realized = realize_firing_sequence(
+                self.net, sequence, self.config.reset_policy
+            )
         # same reference-replay gate the parallel scheduler applies to
         # worker wins (deferred import: parallel imports the scheduler
         # stack for its workers)
         from repro.scheduler.parallel import validate_with_reference
 
-        validate_with_reference(
-            self.net, self.config, realized.schedule
-        )
+        with self.obs.span("reference-replay", cat="validate"):
+            validate_with_reference(
+                self.net, self.config, realized.schedule
+            )
         return realized.schedule, realized.windows
 
 
@@ -656,12 +665,24 @@ class SearchCore:
 
     Two injection points serve the parallel scheduler's workers (both
     no-ops for a plain serial search): ``tick`` is a cooperative
-    callback polled every 1024 expansions with the live counters
-    (returning True aborts the search — first-win cancellation, shared
-    state budgets), and ``shared_filter`` is a cross-process visited
-    filter with an ``add(key) -> bool`` protocol (False when the key
-    was already present); states another worker claimed are skipped
-    like local revisits.
+    callback polled every 1024 expansions with the live counters plus
+    the current stack depth (returning True aborts the search —
+    first-win cancellation, shared state budgets), and
+    ``shared_filter`` is a cross-process visited filter with an
+    ``add(key) -> bool`` protocol (False when the key was already
+    present); states another worker claimed are skipped like local
+    revisits.
+
+    Three more injection points serve :mod:`repro.obs` (all ``None``
+    by default, costing the loop nothing): ``obs`` is a span recorder —
+    when enabled, the hoisted successor/candidate locals are wrapped in
+    nanosecond-accumulating closures and emitted as aggregate child
+    spans of the ``search`` span at exit; ``metrics`` is a registry
+    whose snapshot lands on ``SchedulerResult.metrics``; ``heartbeat``
+    is a progress callback sharing ``tick``'s 1024-expansion poll.
+    The registry alone never turns polling on — the ``search.max_depth``
+    gauge is sampled at the poll cadence, so it is recorded only when
+    a deadline, tick or heartbeat already pays for the poll.
     """
 
     def __init__(
@@ -671,18 +692,75 @@ class SearchCore:
         reorder=None,
         tick=None,
         shared_filter=None,
+        obs=None,
+        metrics=None,
+        heartbeat=None,
     ):
         self.adapter = adapter
         self.config = config
         self.reorder = reorder
         self.tick = tick
         self.shared_filter = shared_filter
+        self.obs = obs
+        self.metrics = metrics
+        self.heartbeat = heartbeat
 
     def run(self) -> SchedulerResult:
+        result = self._run()
+        if self.metrics is not None:
+            result.metrics = self.metrics.snapshot()
+        return result
+
+    def _emit_spans(self, start_ns: int, span_acc, stats) -> None:
+        """Emit the ``search`` span plus its aggregate phase children.
+
+        The per-call successor/candidate costs were accumulated as
+        plain nanosecond counters inside the loop (never formatting an
+        event on the hot path); here they become two child spans laid
+        out back-to-back from the search start — a valid Chrome
+        nesting that reads as "of this search, X µs went to successor
+        generation and Y µs to candidate enumeration".
+        """
+        obs = self.obs
+        obs.record_span(
+            "search",
+            start_ns,
+            obs.now_ns(),
+            cat="search",
+            args={
+                "engine": self.adapter.name,
+                "states_visited": stats.states_visited,
+                "states_generated": stats.states_generated,
+            },
+        )
+        cursor = start_ns
+        for name, (spent_ns, calls) in (
+            ("successor-generation", span_acc["succ"]),
+            ("candidate-enumeration", span_acc["cand"]),
+        ):
+            if not calls:
+                continue
+            obs.record_span(
+                name,
+                cursor,
+                cursor + spent_ns,
+                cat="search",
+                args={"aggregate": True, "calls": calls},
+            )
+            cursor += spent_ns
+
+    def _run(self) -> SchedulerResult:
         adapter = self.adapter
         config = self.config
         stats = SearchStats()
         started = time.monotonic()
+        obs = self.obs
+        record = obs is not None and obs.enabled
+        span_acc = None
+        trace_t0 = 0
+        if record:
+            trace_t0 = obs.now_ns()
+            span_acc = {"succ": [0, 0], "cand": [0, 0]}
         deadline = (
             None
             if config.max_seconds is None
@@ -700,6 +778,8 @@ class SearchCore:
         if adapter.reached_final(s0.marking):
             stats.elapsed_seconds = time.monotonic() - started
             schedule, windows = adapter.finalize_path([], stats)
+            if record:
+                self._emit_spans(trace_t0, span_acc, stats)
             return SchedulerResult(
                 feasible=True,
                 firing_schedule=schedule,
@@ -719,6 +799,21 @@ class SearchCore:
                     base_candidates(state, stats), clocks_view(state)
                 )
 
+        if record:
+            # tracing wraps the hoisted callables in ns-accumulating
+            # closures; when disabled these lines never run and the
+            # loop is byte-for-byte the untraced one
+            clock_ns = time.monotonic_ns
+            cand_cell = span_acc["cand"]
+            traced_candidates = candidates_of
+
+            def candidates_of(state, stats):
+                t0 = clock_ns()
+                cands = traced_candidates(state, stats)
+                cand_cell[0] += clock_ns() - t0
+                cand_cell[1] += 1
+                return cands
+
         stack: list[_Frame] = [
             _Frame(s0, now0, candidates_of(s0, stats))
         ]
@@ -729,6 +824,17 @@ class SearchCore:
         # stack already passed both checks), and the per-expansion
         # counters stay in locals, folded back into `stats` on exit.
         successor = adapter.successor
+        if record:
+            succ_cell = span_acc["succ"]
+            traced_successor = successor
+
+            def successor(state, transition, delay):
+                t0 = clock_ns()
+                child = traced_successor(state, transition, delay)
+                succ_cell[0] += clock_ns() - t0
+                succ_cell[1] += 1
+                return child
+
         touches_miss = adapter.touches_miss
         touches_final = adapter.touches_final
         has_missed = adapter.deadline_missed
@@ -740,7 +846,17 @@ class SearchCore:
         tick = self.tick
         shared = self.shared_filter
         shared_add = None if shared is None else shared.add
-        polled = deadline is not None or tick is not None
+        heartbeat = self.heartbeat
+        metrics = self.metrics
+        max_depth = 1
+        # the metrics registry alone never turns polling on: the bare
+        # hot loop and the registry-only default path run the same
+        # per-expansion bytecode (the <2% gate in bench_obs_overhead)
+        polled = (
+            deadline is not None
+            or tick is not None
+            or heartbeat is not None
+        )
         n_visited = 1
         n_generated = 0
         n_revisits = 0
@@ -762,6 +878,11 @@ class SearchCore:
 
                 n_generated += 1
                 if polled and not n_generated & _TIME_CHECK_MASK:
+                    depth = len(stack)
+                    if depth > max_depth:
+                        max_depth = depth
+                    if heartbeat is not None:
+                        heartbeat(n_visited, n_generated, depth)
                     if deadline is not None and monotonic() > deadline:
                         exhausted = True
                         break
@@ -771,6 +892,7 @@ class SearchCore:
                         n_revisits,
                         n_prunes,
                         n_backtracks,
+                        depth,
                     ):
                         exhausted = True
                         break
@@ -837,6 +959,12 @@ class SearchCore:
             stats.revisits_skipped = n_revisits
             stats.deadline_prunes = n_prunes
             stats.backtracks = n_backtracks
+            if metrics is not None and polled:
+                # depth is sampled at the poll cadence; without a
+                # poller nothing was sampled, so record no gauge
+                metrics.max_gauge("search.max_depth", max_depth)
+            if record:
+                self._emit_spans(trace_t0, span_acc, stats)
 
         stats.elapsed_seconds = time.monotonic() - started
         return SchedulerResult(

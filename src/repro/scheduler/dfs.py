@@ -48,6 +48,9 @@ from __future__ import annotations
 
 from repro.errors import InfeasibleScheduleError, SchedulingError
 from repro.blocks.composer import ComposedModel
+from repro.obs.events import JsonlSink, Recorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressPrinter
 from repro.scheduler.config import ENGINES, SchedulerConfig
 from repro.scheduler.core import SearchCore, make_adapter
 from repro.scheduler.policies import make_reorder
@@ -104,6 +107,28 @@ class PreRuntimeScheduler:
         #: protocol (False when the key was already present); states
         #: another worker claimed are skipped like local revisits.
         self.shared_filter = None
+        # Observability (repro.obs).  The metrics registry is always
+        # on — a few dict writes per search, snapshotted onto
+        # ``SchedulerResult.metrics``; portfolio workers swap in their
+        # own registry so every worker's counters ship home.  The span
+        # recorder and the progress heartbeat exist only when their
+        # config knobs ask for them (otherwise the core's hot loop
+        # never sees them).
+        self.metrics = MetricsRegistry()
+        self.obs = None
+        if self.config.trace_jsonl:
+            self.obs = Recorder(
+                JsonlSink(self.config.trace_jsonl),
+                track=f"search:{engine}",
+            )
+            self.adapter.obs = self.obs
+        self.heartbeat = None
+        if self.config.progress:
+            self.heartbeat = ProgressPrinter(
+                label=f"search:{engine}",
+                recorder=self.obs,
+                metrics=self.metrics,
+            )
         if not net.final_constraints:
             raise SchedulingError(
                 "net has no final marking; set one (the join block does "
@@ -129,6 +154,9 @@ class PreRuntimeScheduler:
             reorder=self._reorder,
             tick=self.tick,
             shared_filter=self.shared_filter,
+            obs=self.obs,
+            metrics=self.metrics,
+            heartbeat=self.heartbeat,
         ).run()
 
     def search_from(self, root: FastState, now: int) -> SchedulerResult:

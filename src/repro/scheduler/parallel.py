@@ -72,6 +72,8 @@ from dataclasses import dataclass, field, replace
 from multiprocessing import get_context
 
 from repro.errors import SchedulingError
+from repro.obs.events import NULL_RECORDER, JsonlSink, Recorder
+from repro.obs.metrics import MetricsRegistry
 from repro.scheduler.adaptive import AdaptiveStore, net_family
 from repro.scheduler.config import ENGINES, SchedulerConfig
 from repro.scheduler.dfs import PreRuntimeScheduler
@@ -370,6 +372,11 @@ def _portfolio_worker(
         seed = index
     merged: dict = {}
     restarts = 0
+    # one registry for the worker's whole lifetime (shared across
+    # restarts); its snapshot rides home on the stats payload and the
+    # parent merges every worker's snapshot onto result.metrics
+    metrics = MetricsRegistry()
+    worker_started = time.monotonic()
     try:
         deadline = (
             None
@@ -383,6 +390,13 @@ def _portfolio_worker(
         def run_once(cfg: SchedulerConfig) -> SchedulerResult:
             scheduler = PreRuntimeScheduler(net, cfg, engine=engine)
             scheduler.tick = tick
+            scheduler.metrics = metrics
+            if scheduler.obs is not None:
+                # one trace track per portfolio worker slot
+                scheduler.obs.track = f"w{index}:{slot_text}"
+            if scheduler.heartbeat is not None:
+                scheduler.heartbeat.label = f"w{index}:{slot_text}"
+                scheduler.heartbeat.metrics = metrics
             return scheduler.search()
 
         overrides = dict(
@@ -446,6 +460,19 @@ def _portfolio_worker(
             kind = "feasible"
         else:
             kind = "infeasible"
+        # per-slot wall-clock and outcome land in the metrics snapshot
+        # (gauges carry the slot name, so workers never collide); the
+        # parent reads the wall-clock gauge back into the AdaptiveStore
+        metrics.set_gauge(
+            f"slot.{slot_text}.wall_seconds",
+            round(time.monotonic() - worker_started, 6),
+        )
+        metrics.inc(f"slot.{slot_text}.{kind}")
+        if restarts:
+            metrics.inc(f"slot.{slot_text}.restarts", restarts)
+        # after the last _accumulate: that helper does numeric addition
+        # over the payload and must never see the nested snapshot
+        merged["metrics"] = metrics.snapshot()
         # feasible payload: the schedule plus the dense windows the
         # stateclass engine attaches (None for the discrete engines)
         payload = (
@@ -455,6 +482,7 @@ def _portfolio_worker(
         )
         results.put((kind, index, slot_text, merged, payload))
     except Exception as error:  # noqa: BLE001 — workers must not die silently
+        merged["metrics"] = metrics.snapshot()
         results.put(
             (
                 "error",
@@ -480,11 +508,19 @@ def _worksteal_worker(
     merged: dict = {}
     exhausted_any = False
     names = net.transition_names
+    metrics = MetricsRegistry()
+    worker_started = time.monotonic()
     try:
         scheduler = PreRuntimeScheduler(
             net, replace(config, parallel=0), engine="incremental"
         )
         scheduler.shared_filter = visited_filter
+        scheduler.metrics = metrics
+        if scheduler.obs is not None:
+            scheduler.obs.track = f"w{index}:worksteal"
+        if scheduler.heartbeat is not None:
+            scheduler.heartbeat.label = f"w{index}:worksteal"
+            scheduler.heartbeat.metrics = metrics
         flushed = [0]
 
         def tick(n_visited, *_counters) -> bool:
@@ -505,6 +541,11 @@ def _worksteal_worker(
             if job is None:
                 break
             flushed[0] = 0
+            # one steal per drained job; counters sum across workers,
+            # so the merged snapshot carries both the per-worker split
+            # and the total
+            metrics.inc("worksteal.jobs_stolen")
+            metrics.inc(f"worker.{index}.jobs_stolen")
             root = scheduler.fast.revive(job.marking, job.clocks)
             result = scheduler.search_from(root, job.now)
             with visited_total.get_lock():
@@ -518,6 +559,11 @@ def _worksteal_worker(
                     (names[t], q, at) for t, q, at in job.prefix
                 ]
                 schedule.extend(result.firing_schedule)
+                metrics.set_gauge(
+                    f"worker.{index}.wall_seconds",
+                    round(time.monotonic() - worker_started, 6),
+                )
+                merged["metrics"] = metrics.snapshot()
                 results.put(("found", index, None, merged, schedule))
                 return
             if result.exhausted:
@@ -532,8 +578,14 @@ def _worksteal_worker(
             # cancelled between jobs: whatever is still queued was
             # never searched
             exhausted_any = True
+        metrics.set_gauge(
+            f"worker.{index}.wall_seconds",
+            round(time.monotonic() - worker_started, 6),
+        )
+        merged["metrics"] = metrics.snapshot()
         results.put(("drained", index, None, merged, exhausted_any))
     except Exception as error:  # noqa: BLE001
+        merged["metrics"] = metrics.snapshot()
         results.put(
             (
                 "error",
@@ -662,6 +714,15 @@ class ParallelScheduler:
     def _search_portfolio(self) -> SchedulerResult:
         config = self.config
         started = time.monotonic()
+        # parent-side recorder: one "portfolio-race" track framing the
+        # whole race plus the reference-replay gate (workers record
+        # their own tracks into the same O_APPEND sink)
+        obs = NULL_RECORDER
+        if config.trace_jsonl:
+            obs = Recorder(
+                JsonlSink(config.trace_jsonl), track="portfolio-race"
+            )
+        race_t0 = obs.now_ns()
         ctx = self._context
         results = ctx.Queue()
         cancel = ctx.Event()
@@ -695,6 +756,16 @@ class ParallelScheduler:
                 break
         merged = self._merge_stats(messages)
         merged.elapsed_seconds = time.monotonic() - started
+        race_metrics = MetricsRegistry.merge_snapshots(
+            (m[3] or {}).get("metrics") for m in messages
+        )
+        obs.record_span(
+            "portfolio-race",
+            race_t0,
+            obs.now_ns(),
+            cat="portfolio",
+            args={"workers": len(workers), "slots": list(policies)},
+        )
         if winner is None:
             errors = [m for m in messages if m[0] == "error"]
             if len(errors) == len(workers) and errors:
@@ -711,14 +782,40 @@ class ParallelScheduler:
                 config=config,
                 exhausted=True,
                 workers=len(workers),
+                metrics=race_metrics,
             )
         kind, _index, slot, slot_stats, payload = winner
         slot_engine, policy = parse_slot(slot)
         if slot_engine is None:
             slot_engine = self.engine_mode
         if self.adaptive is not None:
+            family = net_family(self.net)
+            # per-slot wall-clock (and near-miss credit for losers that
+            # still reached a definitive verdict) flows back into the
+            # store so a narrowly-losing diverse slot is not starved;
+            # the decay halves the horizon so old wins fade
+            for message in messages:
+                m_kind, _i, m_slot, m_stats, _payload = message
+                if not m_slot:
+                    continue
+                seconds = (
+                    ((m_stats or {}).get("metrics") or {})
+                    .get("gauges", {})
+                    .get(f"slot.{m_slot}.wall_seconds")
+                )
+                if seconds is not None:
+                    self.adaptive.record_slot_time(
+                        family,
+                        m_slot,
+                        seconds,
+                        near=(
+                            m_kind in ("feasible", "infeasible")
+                            and message is not winner
+                        ),
+                    )
+            self.adaptive.decay_family(family)
             self.adaptive.record_win(
-                net_family(self.net),
+                family,
                 slot,
                 (slot_stats or {}).get("states_visited", 0),
             )
@@ -726,7 +823,8 @@ class ParallelScheduler:
         if kind == "feasible":
             raw_schedule, windows = payload
             schedule = [tuple(entry) for entry in raw_schedule]
-            validate_with_reference(self.net, config, schedule)
+            with obs.span("reference-replay", cat="validate"):
+                validate_with_reference(self.net, config, schedule)
             return SchedulerResult(
                 feasible=True,
                 firing_schedule=schedule,
@@ -740,6 +838,7 @@ class ParallelScheduler:
                     if windows is None
                     else [tuple(entry) for entry in windows]
                 ),
+                metrics=race_metrics,
             )
         return SchedulerResult(
             feasible=False,
@@ -748,6 +847,7 @@ class ParallelScheduler:
             winner_policy=policy,
             winner_engine=slot_engine,
             workers=len(workers),
+            metrics=race_metrics,
         )
 
     # ------------------------------------------------------------------
@@ -814,6 +914,14 @@ class ParallelScheduler:
         )
         merged = self._merge_stats(messages, base=split.stats)
         merged.elapsed_seconds = time.monotonic() - started
+        parent_metrics = MetricsRegistry()
+        parent_metrics.set_gauge(
+            "worksteal.frontier_jobs", len(split.jobs)
+        )
+        steal_metrics = MetricsRegistry.merge_snapshots(
+            [parent_metrics.snapshot()]
+            + [(m[3] or {}).get("metrics") for m in messages]
+        )
         found = next((m for m in messages if m[0] == "found"), None)
         if found is not None:
             schedule = [tuple(entry) for entry in found[4]]
@@ -824,6 +932,7 @@ class ParallelScheduler:
                 stats=merged,
                 config=config,
                 workers=n_workers,
+                metrics=steal_metrics,
             )
         errors = [m for m in messages if m[0] == "error"]
         if len(errors) == len(workers) and errors:
@@ -845,6 +954,7 @@ class ParallelScheduler:
             config=config,
             exhausted=exhausted,
             workers=n_workers,
+            metrics=steal_metrics,
         )
 
     # ------------------------------------------------------------------

@@ -60,8 +60,13 @@ class SearchStats:
             "states_per_second": self.states_per_second,
         }
 
-    def profile(self) -> str:
-        """Multi-line search-statistics report (``ezrt schedule --profile``)."""
+    def profile(self, metrics: dict | None = None) -> str:
+        """Multi-line search-statistics report (``ezrt schedule --profile``).
+
+        ``metrics`` is an optional :mod:`repro.obs` snapshot (the
+        ``SchedulerResult.metrics`` dict); when it carries data, the
+        formatted counters/gauges/histograms block is appended.
+        """
         lines = [
             f"states visited   : {self.states_visited}",
             f"states generated : {self.states_generated}",
@@ -74,6 +79,12 @@ class SearchStats:
         ]
         if self.restarts:
             lines.insert(6, f"restarts         : {self.restarts}")
+        if metrics and any(metrics.values()):
+            from repro.obs.metrics import format_metrics
+
+            lines.append("metrics:")
+            for line in format_metrics(metrics).splitlines():
+                lines.append(f"  {line}")
         return "\n".join(lines)
 
 
@@ -110,6 +121,14 @@ class SchedulerResult:
             firing giving the absolute dense window the firing time
             was concretised from (``latest`` may be ``INF``).  ``None``
             for the discrete engines.
+        metrics: :mod:`repro.obs` metrics snapshot of the search —
+            ``{"counters", "gauges", "histograms"}``.  A serial search
+            carries its own registry's snapshot (e.g. the
+            ``search.max_depth`` gauge); a parallel search carries the
+            queue-drained merge of every worker's snapshot (per-slot
+            wall-clock gauges, steal counts, frontier size).  Empty
+            for a bare :class:`~repro.scheduler.core.SearchCore` run
+            with no registry attached.
     """
 
     feasible: bool
@@ -124,6 +143,7 @@ class SchedulerResult:
     winner_engine: str | None = None
     workers: int = 1
     interval_schedule: list[tuple[str, int, float]] | None = None
+    metrics: dict = field(default_factory=dict)
 
     @property
     def schedule_length(self) -> int:

@@ -167,6 +167,80 @@ class TestAdaptiveStore:
         assert reloaded.wins("famX") == {"latest": 1}
         assert reloaded.predicted_states("famX", 0.0) == 50.0
 
+    def test_near_win_keeps_diverse_slot_near_front(self):
+        # ISSUE 6 refinement: a slot that keeps reaching definitive
+        # verdicts but narrowly loses the race must not be starved
+        # behind slots with no record at all
+        store = AdaptiveStore()
+        slots = ("earliest", "stateclass:earliest", "random:1")
+        store.record_win("famX", "earliest", 100)
+        store.record_slot_time("famX", "earliest", 0.10)
+        store.record_slot_time(
+            "famX", "stateclass:earliest", 0.12, near=True
+        )
+        store.record_slot_time("famX", "random:1", 0.50)
+        ordered = store.order_slots("famX", slots)
+        assert ordered[0] == "earliest"  # the actual winner
+        assert ordered[1] == "stateclass:earliest"  # near win
+        assert sorted(ordered) == sorted(slots)
+
+    def test_faster_mean_wall_clock_breaks_ties(self):
+        store = AdaptiveStore()
+        slots = ("earliest", "latest", "min-laxity")
+        store.record_slot_time("famX", "latest", 0.05)
+        store.record_slot_time("famX", "latest", 0.15)  # mean 0.10
+        store.record_slot_time("famX", "earliest", 0.40)
+        ordered = store.order_slots("famX", slots)
+        # no wins or near wins anywhere: fastest mean first, and the
+        # never-recorded slot (mean 0) comes before both
+        assert ordered == ("min-laxity", "latest", "earliest")
+
+    def test_decay_fades_old_wins(self):
+        store = AdaptiveStore()
+        slots = ("earliest", "latest")
+        store.record_win("famX", "earliest")
+        # 20 races pass in which 'earliest' never wins again while
+        # 'latest' takes one recent win
+        for _ in range(20):
+            store.decay_family("famX")
+        store.record_win("famX", "latest")
+        ordered = store.order_slots("famX", slots)
+        assert ordered[0] == "latest"
+        # decay of an unknown family is a safe no-op
+        store.decay_family("famZ")
+
+    def test_slot_time_persistence_roundtrip(self, tmp_path):
+        path = os.path.join(tmp_path, "adaptive.json")
+        store = AdaptiveStore(path)
+        store.record_win("famX", "latest")
+        store.record_slot_time("famX", "latest", 0.25)
+        store.record_slot_time("famX", "earliest", 0.75, near=True)
+        store.save()
+        reloaded = AdaptiveStore(path)
+        assert reloaded.order_slots(
+            "famX", ("earliest", "latest")
+        ) == ("latest", "earliest")
+
+    def test_race_records_slot_times(self, tmp_path):
+        # an end-to-end race stores wall-clock for every slot, not
+        # just the winner, so losing slots accumulate mean-seconds
+        path = os.path.join(tmp_path, "adaptive.json")
+        net = compose(paper_examples()["fig4"]).compiled()
+        scheduler = ParallelScheduler(
+            net,
+            SchedulerConfig(parallel=2),
+            adaptive=AdaptiveStore(path),
+        )
+        result = scheduler.search()
+        assert result.feasible
+        reloaded = AdaptiveStore(path)
+        family = net_family(net)
+        entries = reloaded._families[family]["slots"]
+        timed = [e for e in entries.values() if e.get("runs")]
+        assert timed, "no slot recorded wall-clock for the race"
+        assert all(e["seconds"] > 0 for e in timed)
+        assert _no_ezrt_children()
+
     def test_corrupt_file_is_ignored(self, tmp_path):
         path = os.path.join(tmp_path, "adaptive.json")
         with open(path, "w", encoding="utf-8") as handle:

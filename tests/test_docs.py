@@ -3,9 +3,10 @@
 Two contracts keep ``docs/`` honest:
 
 * every ``ezrt ...`` line inside a ```` ```bash ```` fence of
-  ``docs/tutorial.md`` is executed verbatim (in one shared temporary
-  working directory, in document order, via ``repro.cli.main``) and
-  must succeed — so the tutorial cannot drift from the CLI;
+  ``docs/tutorial.md`` and ``docs/observability.md`` is executed
+  verbatim (in one shared temporary working directory per document,
+  in document order, via ``repro.cli.main``) and must succeed — so
+  the docs cannot drift from the CLI;
 * every relative Markdown link in ``README.md`` and ``docs/*.md``
   must point at an existing file in the repository.
 """
@@ -25,13 +26,14 @@ REPO_ROOT = os.path.abspath(
 )
 DOCS_DIR = os.path.join(REPO_ROOT, "docs")
 TUTORIAL = os.path.join(DOCS_DIR, "tutorial.md")
+OBSERVABILITY = os.path.join(DOCS_DIR, "observability.md")
 
 _FENCE = re.compile(r"```bash\n(.*?)```", re.DOTALL)
 _LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
 
 
-def _tutorial_commands() -> list[str]:
-    with open(TUTORIAL, encoding="utf-8") as fh:
+def _doc_commands(path: str) -> list[str]:
+    with open(path, encoding="utf-8") as fh:
         text = fh.read()
     commands = []
     for block in _FENCE.findall(text):
@@ -40,6 +42,22 @@ def _tutorial_commands() -> list[str]:
             if line.startswith("ezrt "):
                 commands.append(line)
     return commands
+
+
+def _tutorial_commands() -> list[str]:
+    return _doc_commands(TUTORIAL)
+
+
+def _run_doc_commands(path, tmp_path, monkeypatch, capsys) -> None:
+    monkeypatch.chdir(tmp_path)
+    for command in _doc_commands(path):
+        argv = shlex.split(command)[1:]
+        code = main(argv)
+        out = capsys.readouterr()
+        assert code == 0, (
+            f"doc command failed (rc={code}): {command}\n"
+            f"stdout:\n{out.out}\nstderr:\n{out.err}"
+        )
 
 
 class TestTutorialCommands:
@@ -62,15 +80,28 @@ class TestTutorialCommands:
     def test_every_tutorial_command_succeeds(
         self, tmp_path, monkeypatch, capsys
     ):
-        monkeypatch.chdir(tmp_path)
-        for command in _tutorial_commands():
-            argv = shlex.split(command)[1:]
-            code = main(argv)
-            out = capsys.readouterr()
-            assert code == 0, (
-                f"tutorial command failed (rc={code}): {command}\n"
-                f"stdout:\n{out.out}\nstderr:\n{out.err}"
-            )
+        _run_doc_commands(TUTORIAL, tmp_path, monkeypatch, capsys)
+
+
+class TestObservabilityCommands:
+    def test_doc_covers_trace_metrics_and_progress(self):
+        commands = _doc_commands(OBSERVABILITY)
+        assert any("--trace" in command for command in commands)
+        assert any("--progress" in command for command in commands)
+        assert any("--parallel" in command for command in commands)
+
+    def test_every_observability_command_succeeds(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        _run_doc_commands(
+            OBSERVABILITY, tmp_path, monkeypatch, capsys
+        )
+        # the traced commands must have produced valid Chrome JSON
+        import json
+
+        for name in ("trace.json", "race.json"):
+            with open(tmp_path / name, encoding="utf-8") as fh:
+                assert json.load(fh)["traceEvents"]
 
 
 def _markdown_files() -> list[str]:
@@ -117,5 +148,6 @@ class TestDocLinks:
             "docs/scheduling.md",
             "docs/batch.md",
             "docs/tutorial.md",
+            "docs/observability.md",
         ):
             assert page in readme, f"README does not link {page}"
