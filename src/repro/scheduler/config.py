@@ -23,6 +23,9 @@ the ablation benches sweep:
   :mod:`repro.tpn.state`);
 * ``engine`` — the successor engine driving the search:
   ``"incremental"`` (the O(degree) discrete-time hot path, default),
+  ``"kernel"`` (the packed-buffer kernel of :mod:`repro.tpn.kernel`
+  — flat marking/clock buffers, incremental 64-bit state keys, and
+  an optional compiled C inner loop with a pure-Python fallback),
   ``"reference"`` (the checked discrete semantics baseline) or
   ``"stateclass"`` (the dense-time Berthomieu–Diaz state-class
   engine of :mod:`repro.tpn.stateclass`, which searches difference-
@@ -63,10 +66,11 @@ PRIORITY_MODES = ("ordered", "strict")
 DELAY_MODES = ("earliest", "extremes", "full")
 PARALLEL_MODES = ("portfolio", "worksteal")
 
-#: Successor engines the scheduler can run on.  ``incremental`` and
-#: ``reference`` share the discrete-time TLTS semantics; ``stateclass``
-#: searches the dense-time state-class graph.
-ENGINES = ("incremental", "reference", "stateclass")
+#: Successor engines the scheduler can run on.  ``incremental``,
+#: ``kernel`` and ``reference`` share the discrete-time TLTS semantics
+#: (``kernel`` over packed buffers with an optional compiled core);
+#: ``stateclass`` searches the dense-time state-class graph.
+ENGINES = ("incremental", "kernel", "reference", "stateclass")
 
 
 @dataclass

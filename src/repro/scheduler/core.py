@@ -5,12 +5,18 @@ repository implemented the paper's pre-runtime search three times —
 once per successor engine, each copy re-stating the tagging, deadline
 pruning, budget/tick polling and policy reordering.  The duplication
 is gone: :class:`SearchCore` is the *single* DFS loop, parameterized
-over the :class:`EngineAdapter` protocol, and the three engines plug
+over the :class:`EngineAdapter` protocol, and the four engines plug
 in through thin adapters:
 
-* :class:`IncrementalAdapter` — the production hot path over
+* :class:`IncrementalAdapter` — the tuple-based hot path over
   :class:`~repro.tpn.fastengine.IncrementalEngine` (O(degree)
   successors, queue-extracted candidate windows);
+* :class:`KernelAdapter` — the packed-buffer kernel over
+  :class:`~repro.tpn.kernel.KernelEngine` (flat ``array('H')``
+  marking/clock state buffers, incremental 64-bit Zobrist state
+  keys, and an optional compiled C core running the
+  successor/firable/min-DUB inner loop on the same buffers — the
+  fastest engine when the native core is built);
 * :class:`ReferenceAdapter` — the measured baseline over the checked
   :class:`~repro.tpn.state.StateEngine` (dense O(|T|·|P|) rescans,
   dense candidate scans over all of T);
@@ -47,6 +53,7 @@ from repro.obs.events import NULL_RECORDER
 from repro.scheduler.result import SchedulerResult, SearchStats
 from repro.tpn.fastengine import FastState, IncrementalEngine
 from repro.tpn.interval import INF
+from repro.tpn.kernel import KernelEngine, KernelState
 from repro.tpn.net import CompiledNet
 from repro.tpn.state import DISABLED, State, StateEngine
 from repro.tpn.stateclass import (
@@ -102,7 +109,7 @@ class EngineAdapter(Protocol):
     uniform surface the shared DFS loop drives:
 
     * ``name`` — the engine's registry name (``"incremental"``,
-      ``"reference"``, ``"stateclass"``);
+      ``"kernel"``, ``"reference"``, ``"stateclass"``);
     * ``engine`` — the wrapped engine instance (orchestration layers
       reach through for engine-specific plumbing such as
       :meth:`~repro.tpn.fastengine.IncrementalEngine.revive`);
@@ -395,6 +402,73 @@ class IncrementalAdapter(_AdapterBase):
         )
 
 
+class KernelAdapter(_AdapterBase):
+    """The packed-buffer kernel over :class:`KernelEngine`.
+
+    States are two flat buffers plus an incremental 64-bit Zobrist
+    key; in earliest-delay searches the entire candidate pipeline
+    (ceiling, window, strict filter, partial-order reduction,
+    ordering) runs inside one engine call — a single foreign call
+    when the compiled core is live.  The delay-enumeration modes fall
+    back to the raw window plus the shared expansion helpers, using
+    the engine's packed partial-order variant (the tuple-based
+    :func:`forced_immediate` reads enabledness as ``clocks[t] >= 0``
+    and cannot run on the ``0xFFFF``-sentinel clock buffer).
+    """
+
+    name = "kernel"
+
+    def __init__(self, net: CompiledNet, config):
+        super().__init__(net, config)
+        self.engine = KernelEngine(
+            net, reset_policy=config.reset_policy
+        )
+        # bound method, not a wrapper: the core hoists it into a local
+        self.successor = self.engine.successor
+
+    def root(self) -> tuple[KernelState, int]:
+        self.obs.instant(
+            "kernel-core",
+            cat="kernel",
+            native=self.engine.native,
+        )
+        return self.engine.initial(), 0
+
+    def state_key(self, state: KernelState) -> int:
+        return state._hash
+
+    def candidates_of(
+        self, state: KernelState, stats: SearchStats
+    ) -> list[tuple[int, int]]:
+        if self._earliest:
+            cands, reduced = self.engine.candidates(
+                state, self._strict, self._partial_order
+            )
+            if reduced:
+                stats.reductions += 1
+            return cands
+        ceiling, cands = self.engine.window(state)
+        if not cands:
+            return cands
+        priorities = self._priority
+        if self._strict:
+            best = min(priorities[t] for t, _lo in cands)
+            cands = [
+                (t, lo) for t, lo in cands if priorities[t] == best
+            ]
+        if self._partial_order and len(cands) > 1:
+            reduced = self.engine.forced_immediate(cands, state.clk)
+            if reduced is not None:
+                stats.reductions += 1
+                cands = [reduced]
+        return order_and_expand(
+            cands, ceiling, priorities, self._delay_mode
+        )
+
+    def clocks_view(self, state: KernelState):
+        return _DenseView(state.clocks_tuple())
+
+
 class ReferenceAdapter(_AdapterBase):
     """The measured baseline over the checked :class:`StateEngine`.
 
@@ -625,6 +699,7 @@ class StateClassAdapter(_AdapterBase):
 #: :data:`repro.scheduler.config.ENGINES`.
 ADAPTERS = {
     "incremental": IncrementalAdapter,
+    "kernel": KernelAdapter,
     "reference": ReferenceAdapter,
     "stateclass": StateClassAdapter,
 }

@@ -6,7 +6,7 @@ by the block composer and searches its timed state space for a firing
 sequence that reaches the desired final marking — that sequence *is*
 the pre-runtime schedule the code generator turns into a C table.
 Everything else in ``scheduler/`` supports this search: ``core.py``
-holds the single engine-agnostic DFS loop and the three
+holds the single engine-agnostic DFS loop and the four
 :class:`~repro.scheduler.core.EngineAdapter` implementations,
 ``config.py`` the knobs, ``result.py`` the outcome/statistics
 containers, ``policies.py`` the alternative candidate orderings,
@@ -22,7 +22,7 @@ final marking ``M_F`` — by Definition 3.2 such a sequence *is* a
 feasible pre-runtime schedule, and finding one proves the task set
 schedulable under the searched policy.
 
-Three successor engines drive the expansion, each wrapped by a thin
+Four successor engines drive the expansion, each wrapped by a thin
 adapter behind the shared loop:
 
 * ``engine="incremental"`` (default) — the
@@ -30,6 +30,13 @@ adapter behind the shared loop:
   successor computation over the compile-time ``affected`` adjacency,
   compact :class:`~repro.tpn.fastengine.FastState` states with cached
   hashes and enabled sets;
+* ``engine="kernel"`` — the packed-buffer
+  :class:`~repro.tpn.kernel.KernelEngine`: markings and clocks live in
+  flat byte/word buffers with an incrementally maintained 64-bit
+  Zobrist state key, and the successor/firable/min-DUB inner loop runs
+  in an optional compiled C core (:mod:`repro.tpn._kernelc`) with a
+  semantics-identical pure-Python fallback — the fastest engine when
+  the native core is built;
 * ``engine="reference"`` — the checked-semantics
   :class:`~repro.tpn.state.StateEngine` with dense O(|T|·|P|) rescans,
   kept as the baseline the benchmarks and the CI smoke job
@@ -115,6 +122,14 @@ class PreRuntimeScheduler:
         # config knobs ask for them (otherwise the core's hot loop
         # never sees them).
         self.metrics = MetricsRegistry()
+        if engine == "kernel":
+            # which core the kernel engine resolved to (1.0 = compiled
+            # C inner loop, 0.0 = pure-Python fallback) — the CI pure
+            # job and the benches read this off the result metrics
+            self.metrics.set_gauge(
+                "kernel.native_core",
+                1.0 if self.adapter.engine.native else 0.0,
+            )
         self.obs = None
         if self.config.trace_jsonl:
             self.obs = Recorder(

@@ -255,14 +255,51 @@ class StateClassEngine:
             return None
         size = len(cls.enabled) + 1
         var_t = cls.enabled.index(transition) + 1
-        # add θ_t − θ_u ≤ 0 for every other enabled u
-        matrix = [list(row) for row in cls.dbm]
+        dbm = cls.dbm
+        # Adding θ_t − θ_u ≤ 0 for every other enabled u keeps the
+        # system satisfiable iff no negative cycle uses one of the new
+        # edges; every such edge leaves var_t, so a minimal cycle is
+        # var_t → u (weight 0) plus a closed-matrix path u → var_t —
+        # the firability test collapses to a column scan (and doubles
+        # as the consistency check the full re-closure used to do).
+        col_t = [row[var_t] for row in dbm]
         for var_u in range(1, size):
-            if var_u != var_t and matrix[var_t][var_u] > 0:
-                matrix[var_t][var_u] = 0
-        closed = _canonical(matrix)
-        if closed is None:
-            return None
+            if col_t[var_u] < 0:
+                return None
+        # Incremental closure (ROADMAP "DBM closure cost"): the input
+        # is already canonical, so instead of a fresh O(n³)
+        # Floyd–Warshall only the entries affected by the new edges
+        # need repair.  All edges emanate from var_t with weight 0, so
+        # the new shortest distance out of var_t is the column-wise
+        # minimum over every enabled row, and any other entry can only
+        # improve by routing through var_t exactly once:
+        #   D'[i][j] = min(D[i][j], D[i][var_t] + D'[var_t][j])
+        # (a path using two new edges re-enters var_t through a
+        # non-negative cycle, so one hop suffices) — O(n²) total.
+        row_t = list(dbm[var_t])
+        for var_u in range(1, size):
+            if var_u == var_t:
+                continue
+            row_u = dbm[var_u]
+            for j in range(size):
+                if row_u[j] < row_t[j]:
+                    row_t[j] = row_u[j]
+        closed: list[list[Bound]] = [None] * size  # type: ignore[list-item]
+        for i in range(size):
+            if i == var_t:
+                closed[i] = row_t
+                continue
+            row_i = list(dbm[i])
+            d_it = col_t[i]
+            if d_it != INF:
+                for j in range(size):
+                    d_tj = row_t[j]
+                    if d_tj == INF:
+                        continue
+                    candidate = d_it + d_tj
+                    if candidate < row_i[j]:
+                        row_i[j] = candidate
+            closed[i] = row_i
 
         # new marking
         marking = list(cls.marking)
@@ -276,11 +313,30 @@ class StateClassEngine:
             cls.marking, new_enabled, old_enabled, transition
         )
         new_size = len(new_enabled) + 1
+        # The successor matrix can be written down already closed, so
+        # the trailing O(n³) re-closure of earlier revisions is gone:
+        #
+        # * the persistent block (origin row/column against the new
+        #   origin θ_t plus pairwise differences) is a *projection* of
+        #   the closed matrix onto {var_t} ∪ persistent — its entries
+        #   are genuine all-pairs shortest distances, so the triangle
+        #   inequality already holds inside the block;
+        # * a newly enabled transition carries only its static
+        #   interval against the origin, so every shortest path in or
+        #   out of its variable routes through variable 0 — the cross
+        #   entries are exactly ``D[i][0] + D[0][j]``; no such path
+        #   can tighten the persistent block either, because
+        #   ``D[i][0] − EFT_u + LFT_u + D[0][j] ≥ D[i][0] + D[0][j]``;
+        # * consistency is inherited: the projection of a consistent
+        #   matrix is consistent and ``LFT − EFT ≥ 0`` keeps every new
+        #   diagonal path non-negative, so (unlike the re-closure
+        #   path) this construction cannot return ``None``.
         fresh: list[list[Bound]] = [
             [INF] * new_size for _ in range(new_size)
         ]
         for i in range(new_size):
             fresh[i][i] = 0
+        new_vars: list[int] = []
         for new_var, t in enumerate(new_enabled, start=1):
             if t in persistent:
                 old_var = old_enabled.index(t) + 1
@@ -290,7 +346,9 @@ class StateClassEngine:
             else:
                 fresh[new_var][0] = self.net.lft[t]
                 fresh[0][new_var] = -self.net.eft[t]
-        # preserve pairwise differences among persistent transitions
+                new_vars.append(new_var)
+        # pairwise differences among persistent transitions (the
+        # projection's interior)
         for i_var, t_i in enumerate(new_enabled, start=1):
             if t_i not in persistent:
                 continue
@@ -300,13 +358,26 @@ class StateClassEngine:
                     continue
                 old_j = old_enabled.index(t_j) + 1
                 fresh[i_var][j_var] = closed[old_i][old_j]
-        final = _canonical(fresh)
-        if final is None:
-            return None
+        # cross entries of newly enabled variables: via the origin
+        for nv in new_vars:
+            up = fresh[nv][0]
+            down = fresh[0][nv]
+            for j in range(1, new_size):
+                if j == nv:
+                    continue
+                if up != INF and fresh[0][j] != INF:
+                    candidate = up + fresh[0][j]
+                    if candidate < fresh[nv][j]:
+                        fresh[nv][j] = candidate
+                d_j0 = fresh[j][0]
+                if d_j0 != INF:
+                    candidate = d_j0 + down
+                    if candidate < fresh[j][nv]:
+                        fresh[j][nv] = candidate
         return StateClass(
             new_marking,
             new_enabled,
-            tuple(tuple(row) for row in final),
+            tuple(tuple(row) for row in fresh),
         )
 
     def _persistent(

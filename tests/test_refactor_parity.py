@@ -20,6 +20,12 @@ suite pins it:
   criterion: exactly one search loop, living in ``core.py``, with the
   duplicated ``_search_*``/``_candidates_*``/``_independent_immediate*``
   helpers gone from ``dfs.py``.
+
+ISSUE 7 added the packed ``kernel`` adapter; as a third discrete
+engine it is pinned to the *same* pre-refactor expectations as the
+reference and incremental adapters on every workload (its deeper
+native-vs-pure and fuzzing coverage lives in
+``tests/test_kernel_engine.py``).
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ from repro.spec import paper_examples
 from repro.workloads import random_task_set, wide_interval_job_net
 
 RESETS = ("paper", "intermediate")
-ENGINES = ("reference", "incremental", "stateclass")
+ENGINES = ("reference", "incremental", "kernel", "stateclass")
 
 #: Deterministic outcome of one pre-refactor search:
 #: (feasible, states_visited, states_generated, revisits_skipped,
@@ -44,12 +50,15 @@ ENGINES = ("reference", "incremental", "stateclass")
 PAPER_PIN = {
     ("fig3", "reference"): (True, 25, 24, 0, 0, 0, 5, 24, 285),
     ("fig3", "incremental"): (True, 25, 24, 0, 0, 0, 5, 24, 285),
+    ("fig3", "kernel"): (True, 25, 24, 0, 0, 0, 5, 24, 285),
     ("fig3", "stateclass"): (True, 25, 24, 0, 0, 0, 5, 24, 285),
     ("fig4", "reference"): (True, 143, 142, 0, 0, 0, 4, 142, 280),
     ("fig4", "incremental"): (True, 143, 142, 0, 0, 0, 4, 142, 280),
+    ("fig4", "kernel"): (True, 143, 142, 0, 0, 0, 4, 142, 280),
     ("fig4", "stateclass"): (True, 143, 142, 0, 0, 0, 4, 142, 280),
     ("fig8", "reference"): (True, 90, 89, 0, 0, 0, 5, 89, 34),
     ("fig8", "incremental"): (True, 90, 89, 0, 0, 0, 5, 89, 34),
+    ("fig8", "kernel"): (True, 90, 89, 0, 0, 0, 5, 89, 34),
     ("fig8", "stateclass"): (
         True, 2813, 3993, 1181, 0, 2723, 140, 89, 35,
     ),
@@ -57,6 +66,9 @@ PAPER_PIN = {
         True, 3256, 3255, 0, 0, 125, 393, 3130, 29930,
     ),
     ("mine-pump", "incremental"): (
+        True, 3256, 3255, 0, 0, 125, 393, 3130, 29930,
+    ),
+    ("mine-pump", "kernel"): (
         True, 3256, 3255, 0, 0, 125, 393, 3130, 29930,
     ),
     ("mine-pump", "stateclass"): (
@@ -76,11 +88,15 @@ GRID_CASES = {
 GRID_PIN = {
     ("n2-u0.4-s0", "reference"): (True, False, 31, 30, 0, 2, 0, 0),
     ("n2-u0.4-s0", "incremental"): (True, False, 31, 30, 0, 2, 0, 0),
+    ("n2-u0.4-s0", "kernel"): (True, False, 31, 30, 0, 2, 0, 0),
     ("n2-u0.4-s0", "stateclass"): (True, False, 31, 30, 0, 2, 0, 0),
     ("n2-u0.8-s1", "reference"): (
         False, False, 120, 150, 119, 2, 0, 31,
     ),
     ("n2-u0.8-s1", "incremental"): (
+        False, False, 120, 150, 119, 2, 0, 31,
+    ),
+    ("n2-u0.8-s1", "kernel"): (
         False, False, 120, 150, 119, 2, 0, 31,
     ),
     ("n2-u0.8-s1", "stateclass"): (
@@ -92,6 +108,9 @@ GRID_PIN = {
     ("n3-u0.4-s2", "incremental"): (
         False, False, 165, 275, 164, 3, 0, 111,
     ),
+    ("n3-u0.4-s2", "kernel"): (
+        False, False, 165, 275, 164, 3, 0, 111,
+    ),
     ("n3-u0.4-s2", "stateclass"): (
         False, False, 491, 685, 490, 3, 0, 195,
     ),
@@ -101,6 +120,9 @@ GRID_PIN = {
     ("n3-u0.8-s0", "incremental"): (
         False, False, 252, 400, 251, 13, 0, 149,
     ),
+    ("n3-u0.8-s0", "kernel"): (
+        False, False, 252, 400, 251, 13, 0, 149,
+    ),
     ("n3-u0.8-s0", "stateclass"): (
         False, False, 762, 1069, 761, 37, 0, 308,
     ),
@@ -108,9 +130,11 @@ GRID_PIN = {
 WIDE_PIN = {
     (True, "reference"): (True, False, 10, 9, 0, 0, 0, 0),
     (True, "incremental"): (True, False, 10, 9, 0, 0, 0, 0),
+    (True, "kernel"): (True, False, 10, 9, 0, 0, 0, 0),
     (True, "stateclass"): (True, False, 10, 9, 0, 0, 0, 0),
     (False, "reference"): (False, False, 68, 114, 67, 0, 0, 47),
     (False, "incremental"): (False, False, 68, 114, 67, 0, 0, 47),
+    (False, "kernel"): (False, False, 68, 114, 67, 0, 0, 47),
     (False, "stateclass"): (False, False, 78, 135, 77, 0, 0, 58),
 }
 
@@ -164,17 +188,18 @@ class TestPaperModelPins:
         self, paper_nets, model, reset_policy
     ):
         """The deleted baseline loop's exactness property, kept alive:
-        the reference and incremental adapters produce byte-identical
-        schedules and deterministic counters."""
+        the reference, incremental and kernel adapters produce
+        byte-identical schedules and deterministic counters."""
         ref = _run(paper_nets[model], "reference", reset_policy)
-        fast = _run(paper_nets[model], "incremental", reset_policy)
-        assert ref.firing_schedule == fast.firing_schedule
-        ref_stats = ref.stats.as_dict()
-        fast_stats = fast.stats.as_dict()
-        for key in ref.stats.WALL_CLOCK_KEYS:
-            ref_stats.pop(key)
-            fast_stats.pop(key)
-        assert ref_stats == fast_stats
+        for engine in ("incremental", "kernel"):
+            other = _run(paper_nets[model], engine, reset_policy)
+            assert ref.firing_schedule == other.firing_schedule
+            ref_stats = ref.stats.as_dict()
+            other_stats = other.stats.as_dict()
+            for key in ref.stats.WALL_CLOCK_KEYS:
+                ref_stats.pop(key)
+                other_stats.pop(key)
+            assert ref_stats == other_stats, (model, engine)
 
 
 class TestSeededGridPins:

@@ -209,6 +209,132 @@ class TestRawNetSweep:
         assert checked >= 10  # the sweep must actually exercise nets
 
 
+def _try_fire_full_closure(engine, cls, transition):
+    """The pre-ISSUE-7 firing rule: full Floyd–Warshall closures.
+
+    Adds the ``θ_t ≤ θ_u`` firing constraints explicitly, re-closes
+    the constrained matrix from scratch, builds the successor from it
+    and re-closes *that* from scratch — the two O(n³) steps the
+    incremental rule in :meth:`StateClassEngine.try_fire` replaces.
+    Kept here as the executable specification the fast path is
+    checked against.
+    """
+    from repro.tpn.stateclass import StateClass, _canonical
+
+    if transition not in cls.enabled:
+        return None
+    size = len(cls.enabled) + 1
+    var_t = cls.enabled.index(transition) + 1
+    matrix = [list(row) for row in cls.dbm]
+    for var_u in range(1, size):
+        if var_u != var_t and matrix[var_t][var_u] > 0:
+            matrix[var_t][var_u] = 0  # θ_t − θ_u ≤ 0
+    closed = _canonical(matrix)
+    if closed is None:
+        return None
+
+    marking = list(cls.marking)
+    for place, delta in engine.net.delta[transition]:
+        marking[place] += delta
+    new_marking = tuple(marking)
+
+    old_enabled = cls.enabled
+    new_enabled = tuple(engine._enabled(new_marking))
+    persistent = engine._persistent(
+        cls.marking, new_enabled, old_enabled, transition
+    )
+    new_size = len(new_enabled) + 1
+    fresh = [[INF] * new_size for _ in range(new_size)]
+    for i in range(new_size):
+        fresh[i][i] = 0
+    for new_var, t in enumerate(new_enabled, start=1):
+        if t in persistent:
+            old_var = old_enabled.index(t) + 1
+            fresh[new_var][0] = closed[old_var][var_t]
+            fresh[0][new_var] = closed[var_t][old_var]
+        else:
+            fresh[new_var][0] = engine.net.lft[t]
+            fresh[0][new_var] = -engine.net.eft[t]
+    for i_var, t_i in enumerate(new_enabled, start=1):
+        if t_i not in persistent:
+            continue
+        old_i = old_enabled.index(t_i) + 1
+        for j_var, t_j in enumerate(new_enabled, start=1):
+            if t_j not in persistent or i_var == j_var:
+                continue
+            old_j = old_enabled.index(t_j) + 1
+            fresh[i_var][j_var] = closed[old_i][old_j]
+    reclosed = _canonical(fresh)
+    if reclosed is None:
+        return None
+    return StateClass(
+        new_marking,
+        new_enabled,
+        tuple(tuple(row) for row in reclosed),
+    )
+
+
+class TestIncrementalClosureEquivalence:
+    """ISSUE 7 satellite: the O(n²) incremental DBM closure in
+    :meth:`StateClassEngine.try_fire` against the full-closure
+    specification, firing by firing — not just verdict parity but
+    *matrix* equality, since the DBM is what later firability checks
+    and windows read."""
+
+    def _bfs_compare(self, net, reset, max_classes):
+        engine = StateClassEngine(net, reset_policy=reset)
+        initial = engine.initial_class()
+        seen = {initial}
+        frontier = [initial]
+        firings = 0
+        while frontier and len(seen) < max_classes:
+            cls = frontier.pop()
+            for t in range(net.num_transitions):
+                fast = engine.try_fire(cls, t)
+                full = _try_fire_full_closure(engine, cls, t)
+                assert fast == full, (
+                    f"incremental closure diverged firing "
+                    f"{net.transition_names[t]!r} ({reset})"
+                )
+                if fast is None:
+                    continue
+                firings += 1
+                if fast not in seen:
+                    seen.add(fast)
+                    frontier.append(fast)
+        return firings
+
+    @pytest.mark.parametrize("reset", RESETS)
+    def test_paper_models_fire_identically(self, reset):
+        from repro.spec import paper_examples
+
+        for name, spec in paper_examples().items():
+            net = compose(spec).compiled()
+            assert self._bfs_compare(net, reset, max_classes=400) > 0, name
+
+    @pytest.mark.parametrize("reset", RESETS)
+    def test_seeded_nets_fire_identically(self, reset):
+        """Raw seeded nets: zero-width and immediate intervals, token
+        recirculation — the shapes that stress persistence and the
+        projection argument."""
+        firings = 0
+        for seed in range(8):
+            net = _seeded_net(seed).compile()
+            firings += self._bfs_compare(net, reset, max_classes=200)
+        assert firings >= 200  # the sweep must actually fire a lot
+
+    @pytest.mark.parametrize("reset", RESETS)
+    def test_seeded_task_sets_fire_identically(self, reset):
+        for n, u, seed in ((2, 0.6, 3), (3, 0.5, 4), (4, 0.7, 5)):
+            net = compose(
+                random_task_set(
+                    n, total_utilization=u, seed=seed,
+                    deadline_slack=0.8,
+                )
+            ).compiled()
+            assert self._bfs_compare(net, reset, max_classes=150) > 0
+
+
 class TestIntervalSchedule:
     def test_windows_cover_concrete_times(self):
         net = wide_interval_job_net(feasible=True).compile()
