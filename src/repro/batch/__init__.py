@@ -77,6 +77,8 @@ from repro.batch.engine import (
     BatchEngine,
     BatchResult,
     BatchStats,
+    Submission,
+    SubmissionBridge,
     default_workers,
 )
 from repro.batch.job import (
@@ -105,6 +107,8 @@ __all__ = [
     "STATUS_FEASIBLE",
     "STATUS_INFEASIBLE",
     "STATUS_TIMEOUT",
+    "Submission",
+    "SubmissionBridge",
     "cache_key",
     "default_workers",
     "execute_job",

@@ -42,9 +42,17 @@ from __future__ import annotations
 import json
 import os
 import sys
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field, replace
+from multiprocessing import get_context
 
 from repro.batch.cache import ResultCache
 from repro.obs.events import NULL_RECORDER, JsonlSink, Recorder
@@ -540,6 +548,12 @@ class BatchEngine:
 
         return note_done
 
+    def bridge(self) -> "SubmissionBridge":
+        """A started :class:`SubmissionBridge` over this engine."""
+        bridge = SubmissionBridge(self)
+        bridge.start()
+        return bridge
+
     def _run_pooled(
         self,
         jobs: list[BatchJob],
@@ -567,3 +581,218 @@ class BatchEngine:
                         meta=dict(jobs[index].meta),
                     )
                 note_done()
+
+
+@dataclass
+class Submission:
+    """One accepted unit of work from :meth:`SubmissionBridge.submit`.
+
+    ``future`` always resolves to a :class:`JobOutcome` — never raises
+    — and ``disposition`` records how the submission was satisfied:
+
+    * ``"cached"`` — served from the result cache, future already done;
+    * ``"joined"`` — an identical job (same content-addressed key) is
+      already computing; this submission shares its future;
+    * ``"submitted"`` — shipped to a pool worker as a fresh compute.
+    """
+
+    key: str
+    job: BatchJob
+    future: Future
+    disposition: str
+
+    CACHED = "cached"
+    JOINED = "joined"
+    SUBMITTED = "submitted"
+
+
+class SubmissionBridge:
+    """Long-lived, one-at-a-time submission front end over the pool.
+
+    :meth:`BatchEngine.run` is campaign-shaped: it blocks until one
+    fixed list of jobs is done and then tears its pool down.  A
+    *service* needs the complement — accept jobs forever, one at a
+    time, from an event loop that must never block — so the bridge owns
+    a persistent ``ProcessPoolExecutor`` and exposes exactly one
+    operation: :meth:`submit`, returning a :class:`Submission` whose
+    future an asyncio caller can wrap with ``asyncio.wrap_future``.
+
+    The bridge keeps the engine's caching and dedup semantics, shifted
+    from batch-scope to service-scope:
+
+    * **cache read-through** — a hit resolves instantly and never
+      touches the pool;
+    * **in-flight dedup** — N concurrent submissions of one
+      content-addressed key share a single compute: the first becomes
+      the leader (``"submitted"``), the rest join its future
+      (``"joined"``).  The map is keyed by the same fingerprint the
+      cache uses, so "identical" means identical spec *and* identical
+      search configuration/budget;
+    * **write-through** — finished non-error outcomes land in the
+      cache before waiters are woken, so an immediate resubmission of
+      a just-finished job hits.
+
+    Worker death (OOM kill, segfault) is absorbed: the affected
+    submissions resolve to structured ``error`` outcomes and the broken
+    pool is transparently replaced, so the next submission computes
+    normally instead of inheriting a poisoned executor.
+
+    Thread-safety: ``submit`` may be called from any thread (the
+    service calls it from the event-loop thread); completion runs on
+    the executor's callback thread.  All shared state is guarded by one
+    lock.  Metrics land in :attr:`metrics` (a process-local
+    :class:`~repro.obs.metrics.MetricsRegistry`): submission and
+    disposition counters plus an ``inflight`` gauge.
+    """
+
+    def __init__(self, engine: BatchEngine):
+        self.engine = engine
+        self.metrics = MetricsRegistry()
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Future] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _new_pool(self) -> ProcessPoolExecutor:
+        try:
+            # match repro.scheduler.parallel: fork is cheap and lets
+            # fault-injection env vars set by tests reach the workers
+            context = get_context("fork")
+        except ValueError:  # pragma: no cover — non-fork platforms
+            context = get_context()
+        return ProcessPoolExecutor(
+            max_workers=max(1, self.engine.max_workers),
+            mp_context=context,
+        )
+
+    def start(self) -> "SubmissionBridge":
+        """Create the worker pool; idempotent until :meth:`shutdown`."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("bridge is shut down")
+            if not self._started:
+                self._pool = self._new_pool()
+                self._started = True
+        return self
+
+    @property
+    def inflight(self) -> int:
+        """Number of keys currently computing."""
+        with self._lock:
+            return len(self._inflight)
+
+    # ------------------------------------------------------------------
+    def submit(self, item, *, timeout: float | None = None) -> Submission:
+        """Accept one spec/job; never blocks on the compute itself.
+
+        ``timeout`` overrides the engine's default per-job budget for
+        this submission.  Budgets fold into the content-addressed key,
+        so the same spec under a different budget is deliberately a
+        *different* job (a timeout verdict must never shadow a longer
+        search) and does not dedup against it.
+        """
+        job = self.engine._normalize(item)
+        if timeout is not None:
+            job = replace(job, timeout=timeout)
+        key = job.key()
+        self.metrics.inc("bridge.submissions")
+        with self._lock:
+            if self._closed or self._pool is None:
+                raise RuntimeError(
+                    "bridge is not started (or already shut down)"
+                )
+            cache = self.engine.cache
+            if cache is not None:
+                cached = cache.get(key)
+                if cached is not None:
+                    self.metrics.inc("bridge.cache_hits")
+                    future: Future = Future()
+                    future.set_result(
+                        BatchEngine._replay(cached, job)
+                    )
+                    return Submission(
+                        key, job, future, Submission.CACHED
+                    )
+            shared = self._inflight.get(key)
+            if shared is not None:
+                self.metrics.inc("bridge.dedup_joined")
+                return Submission(key, job, shared, Submission.JOINED)
+            result_future: Future = Future()
+            self._inflight[key] = result_future
+            self.metrics.inc("bridge.computed")
+            self.metrics.max_gauge(
+                "bridge.inflight_peak", len(self._inflight)
+            )
+            pool_future = self._pool.submit(execute_job, job)
+        pool_future.add_done_callback(
+            lambda pf: self._complete(key, job, pf, result_future)
+        )
+        return Submission(key, job, result_future, Submission.SUBMITTED)
+
+    # ------------------------------------------------------------------
+    def _complete(
+        self,
+        key: str,
+        job: BatchJob,
+        pool_future: Future,
+        result_future: Future,
+    ) -> None:
+        """Executor callback: fold any failure into a JobOutcome,
+        write the cache through, then wake every waiter."""
+        broken = False
+        try:
+            outcome = pool_future.result()
+        except CancelledError:
+            outcome = self._error_outcome(
+                key, job, "CancelledError: bridge shut down"
+            )
+        except BaseException as err:  # noqa: BLE001 — dead worker
+            broken = isinstance(err, BrokenExecutor)
+            outcome = self._error_outcome(
+                key, job, f"{type(err).__name__}: {err}"
+            )
+        with self._lock:
+            self._inflight.pop(key, None)
+            if broken and not self._closed:
+                # one dead worker poisons the whole executor: replace
+                # it so the *next* submission computes instead of
+                # failing fast with BrokenProcessPool
+                dead, self._pool = self._pool, self._new_pool()
+                if dead is not None:
+                    dead.shutdown(wait=False)
+        cache = self.engine.cache
+        if cache is not None and outcome.status != STATUS_ERROR:
+            # errors stay uncached (environmental, same rule as
+            # BatchEngine.run); written before set_result so a waiter
+            # that instantly resubmits sees the hit
+            cache.put(key, outcome.to_dict())
+        self.metrics.inc(f"bridge.outcomes.{outcome.status}")
+        result_future.set_result(outcome)
+
+    @staticmethod
+    def _error_outcome(key: str, job: BatchJob, message: str) -> JobOutcome:
+        return JobOutcome(
+            spec_name=job.spec.name,
+            status=STATUS_ERROR,
+            key=key,
+            n_tasks=len(job.spec.tasks),
+            error=message,
+            meta=dict(job.meta),
+        )
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and reap every worker process.
+
+        Pending pool futures are cancelled; their waiters resolve to
+        structured ``error`` outcomes (never hang).  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=True)

@@ -21,6 +21,7 @@ processes by reference.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field, replace
 
@@ -218,6 +219,13 @@ def execute_job(job: BatchJob) -> JobOutcome:
     wall-clock budget becomes ``timeout``.  Runs in pool workers, so it
     must stay importable at module level and return picklable values.
     """
+    # fault-injection hook for the degradation suites: a worker
+    # processing the named spec dies *hard* (no exception, no cleanup),
+    # exactly like an OOM kill.  Env-gated so production never pays —
+    # tests set EZRT_CRASH_SPEC before the pool forks its workers.
+    crash = os.environ.get("EZRT_CRASH_SPEC")
+    if crash and job.spec.name == crash:
+        os._exit(42)
     started = time.monotonic()
     outcome = JobOutcome(
         spec_name=job.spec.name,

@@ -17,6 +17,9 @@ Subcommands mirror the stages of the ezRealtime architecture:
 * ``ezrt batch spec1.xml @fig3 ...`` — synthesise many specs
   concurrently over a process pool, with result caching, JSONL output
   and campaign grids (``--n-tasks/--utilizations/--seeds``);
+* ``ezrt serve --port 8787`` — run the synthesis service: a JSON API
+  over the batch engine with SSE progress streams and content-addressed
+  results (see ``docs/service.md``);
 * ``ezrt examples`` — list the built-in case studies (usable wherever
   a spec file is expected, via ``@name``).
 """
@@ -486,6 +489,48 @@ def _run_batch(args, cache) -> int:
     return 1 if result.stats.error else 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.app import serve
+
+    def _graceful(signum, frame):
+        # SIGTERM behaves like Ctrl-C: drain, reap the worker pool,
+        # exit 0 — what a process supervisor (or `kill %1`) expects
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _graceful)
+
+    # persistent cache directory when given; a memory cache otherwise —
+    # unlike one-shot `ezrt batch`, a server lives long enough for
+    # in-memory hits to pay off
+    cache = (
+        ResultCache(args.cache_dir)
+        if args.cache_dir
+        else ResultCache()
+    )
+    engine = BatchEngine(
+        max_workers=args.jobs,
+        job_timeout=args.timeout,
+        cache=cache,
+        cores=args.cores,
+        store_schedules=True,
+    )
+    try:
+        asyncio.run(
+            serve(
+                args.host,
+                args.port,
+                engine,
+                audit_path=args.audit,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_export(args) -> int:
     spec = _load_spec(args.spec)
     dsl_save(spec, args.output)
@@ -646,6 +691,61 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(p)
     _add_search_arguments(p)
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the synthesis HTTP service (JSON API + SSE)",
+    )
+    p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: loopback only)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="TCP port to listen on (0 picks an ephemeral port)",
+    )
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker pool width (default: one per CPU)",
+    )
+    p.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        help=(
+            "total core budget: the worker pool shrinks so jobs x "
+            "intra-job workers stays within it"
+        ),
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help=(
+            "default per-job schedule-search budget in seconds "
+            "(submissions may override per request)"
+        ),
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "persist the result cache to this directory; without it "
+            "results are cached in memory for the server's lifetime"
+        ),
+    )
+    p.add_argument(
+        "--audit",
+        default=None,
+        help="append a deterministic JSONL audit log to this file",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("export", help="write a built-in spec as XML")
     p.add_argument("spec")

@@ -1,0 +1,244 @@
+"""Minimal asyncio HTTP/1.1 plumbing for the synthesis service.
+
+Just enough protocol for a JSON API with SSE streams, on stdlib
+``asyncio`` streams only — mirroring the repository's no-new-required-
+dependencies rule (the ``[native]`` extra pattern): no aiohttp, no
+uvicorn.  Supported: request-line + header parsing with hard size
+limits, ``Content-Length`` bodies, ``GET``/``HEAD``/``POST``,
+keep-alive connections, and strong-validator conditional GETs
+(``ETag`` / ``If-None-Match``).  Deliberately rejected: chunked
+request bodies (``501``), oversized headers/bodies (``431``/``413``)
+and anything that is not HTTP/1.x.
+
+:class:`HttpError` is the routing layer's escape hatch: raise it
+anywhere in a handler and the connection loop renders the proper
+status with a JSON error body.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, unquote, urlsplit
+
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_BYTES = 65536
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Abort request handling with a specific status code."""
+
+    def __init__(self, status: int, message: str, *, allow: str | None = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        #: for 405 responses: the Allow header value
+        self.allow = allow
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, str]
+    version: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """Body parsed as a JSON object (400 on anything else)."""
+        try:
+            doc = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as err:
+            raise HttpError(
+                400, f"request body is not valid JSON: {err}"
+            ) from None
+        if not isinstance(doc, dict):
+            raise HttpError(
+                400,
+                "request body must be a JSON object, got "
+                f"{type(doc).__name__}",
+            )
+        return doc
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_body: int = MAX_BODY_BYTES,
+) -> Request | None:
+    """Read one request; ``None`` on a clean EOF between requests."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    if len(line) > MAX_REQUEST_LINE:
+        raise HttpError(431, "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+
+    headers: dict[str, str] = {}
+    total = 0
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise HttpError(400, "connection closed inside headers")
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HttpError(431, "header section too large")
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        name, colon, value = text.partition(":")
+        if not colon:
+            raise HttpError(400, f"malformed header line {text!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpError(
+            501, "chunked request bodies are not supported"
+        )
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "negative Content-Length")
+        if length > max_body:
+            raise HttpError(
+                413, f"body of {length} bytes exceeds {max_body}"
+            )
+        body = await reader.readexactly(length)
+    elif method == "POST":
+        raise HttpError(411, "POST requires Content-Length")
+
+    split = urlsplit(target)
+    query = {
+        name: values[-1]
+        for name, values in parse_qs(
+            split.query, keep_blank_values=True
+        ).items()
+    }
+    return Request(
+        method=method,
+        target=target,
+        path=unquote(split.path) or "/",
+        query=query,
+        version=version,
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    headers: dict[str, str] | None = None,
+    head: bool = False,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialise one complete response (``head`` omits the body)."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    out_headers = {
+        "content-type": content_type,
+        "content-length": str(len(body)),
+        "connection": "keep-alive" if keep_alive else "close",
+    }
+    if status == 304:
+        # 304 carries validators but no body or content headers
+        out_headers.pop("content-type")
+        out_headers.pop("content-length")
+    out_headers.update(headers or {})
+    for name, value in out_headers.items():
+        lines.append(f"{name}: {value}")
+    head_bytes = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    if head or status == 304:
+        return head_bytes
+    return head_bytes + body
+
+
+def json_response(
+    status: int,
+    payload: dict,
+    *,
+    headers: dict[str, str] | None = None,
+    head: bool = False,
+    keep_alive: bool = True,
+) -> bytes:
+    """A canonical-JSON response (sorted keys — byte-reproducible)."""
+    body = (
+        json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        + "\n"
+    ).encode("utf-8")
+    return render_response(
+        status,
+        body,
+        headers=headers,
+        head=head,
+        keep_alive=keep_alive,
+    )
+
+
+def error_response(error: HttpError, *, keep_alive: bool = True) -> bytes:
+    headers = {}
+    if error.allow:
+        headers["allow"] = error.allow
+    return json_response(
+        error.status,
+        {"error": error.message, "status": error.status},
+        headers=headers,
+        keep_alive=keep_alive,
+    )
+
+
+def sse_preamble() -> bytes:
+    """Response head opening an event stream (connection-terminated)."""
+    return (
+        b"HTTP/1.1 200 OK\r\n"
+        b"content-type: text/event-stream\r\n"
+        b"cache-control: no-store\r\n"
+        b"connection: close\r\n"
+        b"\r\n"
+    )

@@ -1,0 +1,218 @@
+"""Server-Sent Events framing and the bounded subscriber queue.
+
+Two halves, both dependency-free:
+
+* the **codec** — :func:`encode_event` / :func:`decode_stream` convert
+  between :class:`ServerEvent` values and the ``text/event-stream``
+  wire format (WHATWG HTML spec §9.2).  Encoding is canonical (fields
+  in ``event``/``id``/``retry``/``data`` order, ``\\n`` newlines, one
+  blank line per event) so a decode→encode round-trip is byte-stable —
+  the property the fuzz suite pins;
+* the **queue** — :class:`EventQueue`, the per-subscriber buffer
+  between the event-loop publisher and one SSE client.  It is strictly
+  bounded with a *drop-and-flag* overflow policy: a slow or stalled
+  reader loses intermediate events (never the terminal one) and is
+  told how many, while the publisher **never blocks** — the search
+  loop and other clients keep streaming at full rate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ServerEvent:
+    """One SSE event: optional type/id/retry plus a data payload."""
+
+    data: str = ""
+    event: str | None = None
+    id: str | None = None
+    retry: int | None = None
+
+    @classmethod
+    def of(cls, event: str, payload: dict, id: str | None = None) -> "ServerEvent":
+        """Event with a canonical-JSON data payload (the service's
+        only event shape: ``data`` is always one JSON object)."""
+        return cls(
+            data=json.dumps(
+                payload, sort_keys=True, separators=(",", ":")
+            ),
+            event=event,
+            id=id,
+        )
+
+    def payload(self) -> dict:
+        """Parse ``data`` back as JSON (inverse of :meth:`of`)."""
+        return json.loads(self.data)
+
+
+def encode_event(event: ServerEvent) -> bytes:
+    """Canonical wire form of one event.
+
+    Multi-line data is split into one ``data:`` line per line; an
+    empty payload still emits ``data:`` so every event has at least
+    one field (a field-less block would be dropped by conforming
+    parsers).
+    """
+    lines: list[str] = []
+    if event.event is not None:
+        lines.append(f"event: {event.event}")
+    if event.id is not None:
+        lines.append(f"id: {event.id}")
+    if event.retry is not None:
+        lines.append(f"retry: {event.retry}")
+    data_lines = event.data.split("\n") if event.data else [""]
+    for line in data_lines:
+        lines.append(f"data: {line}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def encode_comment(text: str = "") -> bytes:
+    """A comment line (keep-alive heartbeat; ignored by parsers)."""
+    return f": {text}\n\n".encode("utf-8")
+
+
+def decode_stream(raw: bytes) -> list[ServerEvent]:
+    """Parse a byte stream into events (tolerant reader side).
+
+    Accepts ``\\n``, ``\\r\\n`` and ``\\r`` line endings, optional
+    space after the colon, comment lines and unknown fields — per the
+    spec — while :func:`encode_event` only ever *emits* the canonical
+    subset.  Incomplete trailing data (no blank-line terminator) is
+    discarded, mirroring a connection cut mid-event.
+    """
+    text = raw.decode("utf-8", errors="replace")
+    text = text.replace("\r\n", "\n").replace("\r", "\n")
+    events: list[ServerEvent] = []
+    event_type: str | None = None
+    event_id: str | None = None
+    retry: int | None = None
+    data: list[str] | None = None
+
+    def flush() -> None:
+        nonlocal event_type, event_id, retry, data
+        if data is not None or event_type is not None or retry is not None:
+            events.append(
+                ServerEvent(
+                    data="\n".join(data or []),
+                    event=event_type,
+                    id=event_id,
+                    retry=retry,
+                )
+            )
+        # unlike browser EventSource, the id does NOT persist across
+        # events here: the canonical encoder emits it explicitly per
+        # event, and carrying it over would break round-trip stability
+        event_type = None
+        event_id = None
+        retry = None
+        data = None
+
+    complete = text.rsplit("\n\n", 1)[0] + "\n\n" if "\n\n" in text else ""
+    for line in complete.split("\n"):
+        if line == "":
+            flush()
+            continue
+        if line.startswith(":"):
+            continue
+        field_name, _, value = line.partition(":")
+        if value.startswith(" "):
+            value = value[1:]
+        if field_name == "event":
+            event_type = value
+        elif field_name == "data":
+            data = (data or []) + [value]
+        elif field_name == "id":
+            event_id = value or None
+        elif field_name == "retry":
+            try:
+                retry = int(value)
+            except ValueError:
+                pass  # spec: ignore non-integer retry
+        # unknown fields are ignored per spec
+    return events
+
+
+@dataclass
+class EventQueue:
+    """Bounded, never-blocking event buffer for one SSE subscriber.
+
+    The publisher side (:meth:`publish`) runs on the event loop and is
+    synchronous: when the buffer is full, the oldest *droppable* event
+    is discarded and counted instead of making the publisher wait — a
+    stalled client throttles only itself.  Events published with
+    ``terminal=True`` (the job's ``done`` event) are never dropped:
+    they evict an older droppable event if they must, so every
+    subscriber that keeps reading eventually learns the outcome.
+
+    The reader side (:meth:`next_chunk`) returns the wire bytes of the
+    next event; after a drop, the first flushed event is preceded by a
+    synthetic ``dropped`` event telling the client how many events it
+    lost (the *flag* half of drop-and-flag).
+    """
+
+    maxsize: int = 256
+    dropped: int = 0
+    closed: bool = False
+    _buffer: deque = field(default_factory=deque)
+    _wakeup: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def publish(self, event: ServerEvent, terminal: bool = False) -> None:
+        """Enqueue without ever blocking (see class doc for overflow)."""
+        if self.closed:
+            return
+        if len(self._buffer) >= self.maxsize:
+            if not terminal:
+                self._buffer.popleft()
+                self.dropped += 1
+            else:
+                # make room for the must-deliver event by sacrificing
+                # the oldest droppable one
+                self._buffer.popleft()
+                self.dropped += 1
+        self._buffer.append((event, terminal))
+        self._wakeup.set()
+
+    def close(self) -> None:
+        """Stop the stream; the reader drains what is buffered."""
+        self.closed = True
+        self._wakeup.set()
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    async def next_chunk(self, heartbeat: float | None = None) -> bytes | None:
+        """Wire bytes of the next event(s); ``None`` when the stream is
+        closed and drained.  With ``heartbeat`` set, an idle wait longer
+        than that many seconds yields an SSE comment instead, keeping
+        the connection visibly alive (and surfacing dead sockets to the
+        writer)."""
+        while True:
+            if self._buffer:
+                event, _ = self._buffer.popleft()
+                chunk = b""
+                if self.dropped:
+                    chunk += encode_event(
+                        ServerEvent.of(
+                            "dropped", {"events": self.dropped}
+                        )
+                    )
+                    self.dropped = 0
+                return chunk + encode_event(event)
+            if self.closed:
+                return None
+            self._wakeup.clear()
+            try:
+                if heartbeat is None:
+                    await self._wakeup.wait()
+                else:
+                    await asyncio.wait_for(
+                        self._wakeup.wait(), timeout=heartbeat
+                    )
+            except asyncio.TimeoutError:
+                return encode_comment("keep-alive")

@@ -17,6 +17,7 @@ from repro.spec.examples import (
     mine_pump,
     paper_examples,
 )
+from repro.spec.jsonio import spec_from_json, spec_to_json
 from repro.spec.model import (
     EzRTSpec,
     Message,
@@ -68,6 +69,8 @@ __all__ = [
     "paper_examples",
     "save",
     "schedule_period",
+    "spec_from_json",
+    "spec_to_json",
     "total_instances",
     "utilization_breakdown",
     "validate_spec",

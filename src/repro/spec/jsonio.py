@@ -1,0 +1,282 @@
+"""JSON codec for ezRealtime specifications (the service wire format).
+
+The XML DSL (:mod:`repro.spec.dsl`) is the paper's interchange format;
+the synthesis service (:mod:`repro.service`) speaks JSON, because its
+clients build requests programmatically rather than exporting modelling
+-tool documents.  This module converts between plain JSON-serialisable
+dicts and :class:`~repro.spec.model.EzRTSpec`:
+
+* :func:`spec_from_json` — parse and validate a spec document dict
+  (the body of ``POST /jobs``);
+* :func:`spec_to_json` — canonical dict form of a specification
+  (what ``spec_from_json`` accepts; round-trips losslessly).
+
+The JSON shape mirrors the metamodel, with relations inline on the
+task that owns them::
+
+    {"name": "demo", "disp_oveh": false,
+     "processors": ["proc0"],
+     "tasks": [
+       {"name": "sense", "computation": 2, "deadline": 10,
+        "period": 20, "release": 0, "phase": 0, "scheduling": "NP",
+        "energy": 0, "processor": "proc0", "code": null,
+        "precedes": ["act"], "excludes": []},
+       {"name": "act", "computation": 3, "deadline": 20,
+        "period": 20}],
+     "messages": []}
+
+Conventions shared with the XML DSL: exclusions are symmetrised
+(``A excludes B`` implies ``B excludes A``), a message's ``sender``
+task gets the message appended to its ``precedes_msgs``, and the
+auto-generated ``identifier`` fields never appear on the wire — two
+parses of one document build semantically identical specs whose
+:func:`repro.batch.cache.spec_fingerprint` digests agree, which is what
+makes the service's content-addressed dedup work across clients.
+
+Unknown keys are rejected loudly: a typo like ``"computaton"`` must be
+a 4xx at the service boundary, not a silently-defaulted field.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DSLError
+from repro.spec.model import (
+    EzRTSpec,
+    Message,
+    Processor,
+    SchedulingType,
+    SourceCode,
+    Task,
+)
+from repro.spec.validation import ensure_valid
+
+_TASK_KEYS = frozenset(
+    (
+        "name",
+        "computation",
+        "deadline",
+        "period",
+        "release",
+        "phase",
+        "scheduling",
+        "energy",
+        "processor",
+        "code",
+        "precedes",
+        "excludes",
+    )
+)
+_MESSAGE_KEYS = frozenset(
+    (
+        "name",
+        "bus",
+        "communication",
+        "grant_bus",
+        "sender",
+        "precedes",
+    )
+)
+_SPEC_KEYS = frozenset(
+    ("name", "disp_oveh", "processors", "tasks", "messages")
+)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise DSLError(message)
+
+
+def _check_keys(doc: dict, allowed: frozenset, what: str) -> None:
+    unknown = sorted(set(doc) - allowed)
+    _require(
+        not unknown,
+        f"unknown {what} field(s) {unknown}; expected a subset of "
+        f"{sorted(allowed)}",
+    )
+
+
+def _as_int(doc: dict, key: str, what: str, default: int = 0) -> int:
+    value = doc.get(key, default)
+    _require(
+        isinstance(value, int) and not isinstance(value, bool),
+        f"{what} field {key!r} must be an integer, got {value!r}",
+    )
+    return value
+
+
+def _as_str(value, what: str) -> str:
+    _require(
+        isinstance(value, str) and value != "",
+        f"{what} must be a non-empty string, got {value!r}",
+    )
+    return value
+
+
+def _task_from_json(doc: dict) -> tuple[Task, list[str], list[str]]:
+    _require(isinstance(doc, dict), f"task entry must be an object, got {doc!r}")
+    _check_keys(doc, _TASK_KEYS, "task")
+    for key in ("name", "computation", "deadline", "period"):
+        _require(key in doc, f"task is missing required field {key!r}")
+    name = _as_str(doc["name"], "task name")
+    scheduling = doc.get("scheduling", "NP")
+    _require(
+        isinstance(scheduling, str),
+        f"task {name!r}: scheduling must be 'NP' or 'P'",
+    )
+    code = doc.get("code")
+    if code is not None:
+        _require(
+            isinstance(code, str),
+            f"task {name!r}: code must be a string or null",
+        )
+    precedes = doc.get("precedes", [])
+    excludes = doc.get("excludes", [])
+    for label, refs in (("precedes", precedes), ("excludes", excludes)):
+        _require(
+            isinstance(refs, list)
+            and all(isinstance(ref, str) for ref in refs),
+            f"task {name!r}: {label} must be a list of task names",
+        )
+    task = Task(
+        name=name,
+        computation=_as_int(doc, "computation", f"task {name!r}"),
+        deadline=_as_int(doc, "deadline", f"task {name!r}"),
+        period=_as_int(doc, "period", f"task {name!r}"),
+        release=_as_int(doc, "release", f"task {name!r}"),
+        phase=_as_int(doc, "phase", f"task {name!r}"),
+        scheduling=SchedulingType.parse(scheduling),
+        energy=_as_int(doc, "energy", f"task {name!r}"),
+        processor=_as_str(
+            doc.get("processor", "proc0"), f"task {name!r} processor"
+        ),
+        code=SourceCode(code) if code is not None else None,
+    )
+    return task, list(precedes), list(excludes)
+
+
+def _message_from_json(doc: dict) -> Message:
+    _require(
+        isinstance(doc, dict),
+        f"message entry must be an object, got {doc!r}",
+    )
+    _check_keys(doc, _MESSAGE_KEYS, "message")
+    _require("name" in doc, "message is missing required field 'name'")
+    name = _as_str(doc["name"], "message name")
+    for key in ("sender", "precedes"):
+        value = doc.get(key)
+        _require(
+            value is None or isinstance(value, str),
+            f"message {name!r}: {key} must be a task name or null",
+        )
+    return Message(
+        name=name,
+        bus=_as_str(doc.get("bus", "bus0"), f"message {name!r} bus"),
+        communication=_as_int(
+            doc, "communication", f"message {name!r}"
+        ),
+        grant_bus=_as_int(doc, "grant_bus", f"message {name!r}"),
+        sender=doc.get("sender"),
+        precedes=doc.get("precedes"),
+    )
+
+
+def spec_from_json(doc: dict, validate: bool = True) -> EzRTSpec:
+    """Build a specification from its JSON document form.
+
+    Raises :class:`~repro.errors.DSLError` on shape problems (wrong
+    types, unknown keys, missing fields) and
+    :class:`~repro.errors.ValidationError` on semantic ones (when
+    ``validate`` is on) — the service maps both to 4xx responses.
+    """
+    _require(
+        isinstance(doc, dict),
+        f"spec document must be a JSON object, got {type(doc).__name__}",
+    )
+    _check_keys(doc, _SPEC_KEYS, "spec")
+    _require("name" in doc, "spec is missing required field 'name'")
+    spec = EzRTSpec(
+        name=_as_str(doc["name"], "spec name"),
+        disp_oveh=bool(doc.get("disp_oveh", False)),
+    )
+    processors = doc.get("processors", [])
+    _require(
+        isinstance(processors, list),
+        "spec field 'processors' must be a list of names",
+    )
+    for name in processors:
+        spec.add_processor(
+            Processor(name=_as_str(name, "processor name"))
+        )
+    tasks = doc.get("tasks", [])
+    _require(
+        isinstance(tasks, list), "spec field 'tasks' must be a list"
+    )
+    relations: list[tuple[str, list[str], list[str]]] = []
+    for entry in tasks:
+        task, precedes, excludes = _task_from_json(entry)
+        spec.add_task(task)
+        relations.append((task.name, precedes, excludes))
+    # relations resolve only after every task is registered, so a task
+    # may precede one declared later in the document
+    for name, precedes, excludes in relations:
+        for after in precedes:
+            spec.add_precedence(name, after)
+        for other in excludes:
+            spec.add_exclusion(name, other)
+    messages = doc.get("messages", [])
+    _require(
+        isinstance(messages, list),
+        "spec field 'messages' must be a list",
+    )
+    for entry in messages:
+        message = spec.add_message(_message_from_json(entry))
+        if message.sender is not None:
+            sender = spec.task(message.sender)
+            if message.name not in sender.precedes_msgs:
+                sender.precedes_msgs.append(message.name)
+    if validate:
+        ensure_valid(spec)
+    return spec
+
+
+def spec_to_json(spec: EzRTSpec) -> dict:
+    """Canonical JSON document of ``spec`` (inverse of
+    :func:`spec_from_json` up to identifier renaming).
+
+    Every field is emitted — including defaults — so two documents can
+    be compared directly, and the output is stable under a
+    parse/serialise round-trip.
+    """
+    return {
+        "name": spec.name,
+        "disp_oveh": spec.disp_oveh,
+        "processors": [p.name for p in spec.processors],
+        "tasks": [
+            {
+                "name": task.name,
+                "computation": task.computation,
+                "deadline": task.deadline,
+                "period": task.period,
+                "release": task.release,
+                "phase": task.phase,
+                "scheduling": task.scheduling.value,
+                "energy": task.energy,
+                "processor": task.processor,
+                "code": task.code.content if task.code else None,
+                "precedes": list(task.precedes_tasks),
+                "excludes": sorted(task.excludes_tasks),
+            }
+            for task in spec.tasks
+        ],
+        "messages": [
+            {
+                "name": message.name,
+                "bus": message.bus,
+                "communication": message.communication,
+                "grant_bus": message.grant_bus,
+                "sender": message.sender,
+                "precedes": message.precedes,
+            }
+            for message in spec.messages
+        ],
+    }

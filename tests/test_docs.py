@@ -9,13 +9,25 @@ Two contracts keep ``docs/`` honest:
   the docs cannot drift from the CLI;
 * every relative Markdown link in ``README.md`` and ``docs/*.md``
   must point at an existing file in the repository.
+
+``docs/service.md`` gets the same treatment with a different harness:
+its walkthrough is a *shell session* (a background ``ezrt serve``,
+``curl`` calls, command substitution), so the whole bash fence is
+executed as a real script — against an ephemeral port, with ``ezrt``
+shimmed onto ``PATH`` — and must exit 0.  Skipped with a visible
+reason on runners without ``bash``/``curl`` or loopback sockets.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import shlex
+import shutil
+import socket
+import subprocess
+import sys
 
 import pytest
 
@@ -27,8 +39,10 @@ REPO_ROOT = os.path.abspath(
 DOCS_DIR = os.path.join(REPO_ROOT, "docs")
 TUTORIAL = os.path.join(DOCS_DIR, "tutorial.md")
 OBSERVABILITY = os.path.join(DOCS_DIR, "observability.md")
+SERVICE = os.path.join(DOCS_DIR, "service.md")
 
 _FENCE = re.compile(r"```bash\n(.*?)```", re.DOTALL)
+_JSON_FENCE = re.compile(r"```json\n(.*?)```", re.DOTALL)
 _LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
 
 
@@ -104,6 +118,102 @@ class TestObservabilityCommands:
                 assert json.load(fh)["traceEvents"]
 
 
+def _loopback_available() -> bool:
+    try:
+        probe = socket.socket()
+        try:
+            probe.bind(("127.0.0.1", 0))
+        finally:
+            probe.close()
+        return True
+    except OSError:
+        return False
+
+
+def _free_port() -> int:
+    probe = socket.socket()
+    try:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+    finally:
+        probe.close()
+
+
+class TestServiceWalkthrough:
+    def _read_doc(self) -> str:
+        with open(SERVICE, encoding="utf-8") as fh:
+            return fh.read()
+
+    def test_doc_covers_every_endpoint(self):
+        text = self._read_doc()
+        script = "\n".join(_FENCE.findall(text))
+        for path in (
+            "/healthz",
+            "/jobs",
+            "/jobs/job-1",
+            "/jobs/job-1/events",
+            "/results/",
+            "/metrics",
+        ):
+            assert path in script, f"walkthrough never curls {path}"
+        assert "if-none-match" in script  # the 304 demo
+        assert "ezrt serve" in script
+
+    def test_walkthrough_executes(self, tmp_path):
+        """Run the doc's shell session verbatim (ephemeral port)."""
+        for tool in ("bash", "curl"):
+            if shutil.which(tool) is None:
+                pytest.skip(f"{tool} unavailable on this runner")
+        if not _loopback_available():
+            pytest.skip("runner forbids binding loopback sockets")
+        text = self._read_doc()
+        # the ```json fence IS the job.json the session submits
+        (tmp_path / "job.json").write_text(
+            _JSON_FENCE.findall(text)[0], encoding="utf-8"
+        )
+        script = "\n".join(_FENCE.findall(text)).replace(
+            "8787", str(_free_port())
+        )
+        # shim `ezrt` (and `python`, for the doc's one-liner) onto
+        # PATH so the doc commands run against this checkout
+        bin_dir = tmp_path / "bin"
+        bin_dir.mkdir()
+        src = os.path.join(REPO_ROOT, "src")
+        for name, target in (
+            ("ezrt", f'exec "{sys.executable}" -m repro.cli "$@"'),
+            ("python", f'exec "{sys.executable}" "$@"'),
+        ):
+            shim = bin_dir / name
+            shim.write_text(f"#!/bin/sh\n{target}\n")
+            shim.chmod(0o755)
+        env = dict(os.environ)
+        env["PATH"] = f"{bin_dir}{os.pathsep}{env.get('PATH', '')}"
+        env["PYTHONPATH"] = (
+            f"{src}{os.pathsep}{env['PYTHONPATH']}"
+            if env.get("PYTHONPATH")
+            else src
+        )
+        done = subprocess.run(
+            ["bash", "-euo", "pipefail", "-c", script],
+            cwd=tmp_path,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert done.returncode == 0, (
+            f"walkthrough failed (rc={done.returncode})\n"
+            f"stdout:\n{done.stdout}\nstderr:\n{done.stderr}"
+        )
+        # the session's artefacts prove the round-trip happened
+        with open(tmp_path / "result.json", encoding="utf-8") as fh:
+            result = json.load(fh)
+        assert result["status"] == "feasible"
+        assert result["firing_schedule"]
+        assert "304" in done.stdout  # the conditional re-fetch
+        assert '"disposition":"cached"' in done.stdout  # the dedup
+
+
 def _markdown_files() -> list[str]:
     files = [os.path.join(REPO_ROOT, "README.md")]
     for name in sorted(os.listdir(DOCS_DIR)):
@@ -149,5 +259,6 @@ class TestDocLinks:
             "docs/batch.md",
             "docs/tutorial.md",
             "docs/observability.md",
+            "docs/service.md",
         ):
             assert page in readme, f"README does not link {page}"
