@@ -158,6 +158,11 @@ def campaign_report(rows: list[dict], stats: dict) -> str:
             f"deduplicated     : {stats['deduplicated']} repeated "
             "job(s) within the batch"
         )
+    if stats.get("prelint_rejected"):
+        lines.append(
+            f"lint-rejected    : {stats['prelint_rejected']} "
+            "trivially-infeasible job(s) diagnosed without a search"
+        )
     # feasibility matrix over the swept grid
     cells: dict[tuple[int, float], list[bool]] = {}
     for row in rows:

@@ -301,7 +301,14 @@ class ResultCache:
             except PermissionError:
                 pass  # alive, owned by someone else
         try:
-            age = time.time() - os.path.getmtime(path)
+            # Lock files are aged *across processes* by their mtime, so
+            # the only comparable clock is the filesystem's wall clock:
+            # monotonic clocks are process-local.  The age is clamped at
+            # zero because mtime can sit ahead of time.time() (clock
+            # steps, NFS server skew) and a negative age must read as
+            # "fresh", never as instantly stale.
+            # lint: allow EZC101 — cross-process lock aging needs mtime
+            age = max(0.0, time.time() - os.path.getmtime(path))
         except OSError:
             return False
         return age > stale_seconds

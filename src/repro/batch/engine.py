@@ -84,6 +84,38 @@ def default_workers() -> int:
         return os.cpu_count() or 1
 
 
+def prelint_outcome(job: BatchJob) -> JobOutcome | None:
+    """Diagnosed infeasible outcome for a trivially-infeasible job.
+
+    Runs the O(tasks) necessary-condition lint of
+    :func:`repro.lint.specrules.presearch_diagnostics` in the *parent*
+    process: when a spec provably cannot be scheduled (processor/bus
+    overutilisation, a precedence chain that cannot meet its deadline)
+    the returned outcome carries ``status="infeasible"`` with the
+    violated conditions in ``diagnostics`` and zero search counters —
+    the job never reaches the pool.  Returns ``None`` when the search
+    must decide (warning-only findings ride along on the worker's
+    result instead, via the scheduler's own gate).
+    """
+    # deferred import: keeps the worker-imported module graph lean
+    from repro.lint.diagnostics import has_errors
+    from repro.lint.specrules import presearch_diagnostics
+
+    diagnostics = presearch_diagnostics(
+        job.spec, engine=job.config.engine
+    )
+    if not has_errors(diagnostics):
+        return None
+    return JobOutcome(
+        spec_name=job.spec.name,
+        status=STATUS_INFEASIBLE,
+        key=job.key(),
+        n_tasks=len(job.spec.tasks),
+        diagnostics=[d.to_dict() for d in diagnostics],
+        meta=dict(job.meta),
+    )
+
+
 @dataclass
 class BatchStats:
     """Aggregate accounting of one engine run."""
@@ -99,6 +131,11 @@ class BatchStats:
     #: every hit payload), read off ``ResultCache.bytes_served``
     cache_bytes: int = 0
     deduplicated: int = 0
+    #: jobs rejected by the pre-search lint gate (trivially-infeasible
+    #: specs diagnosed in the parent; never shipped to the pool, never
+    #: cached — recomputing the O(tasks) diagnosis is cheaper than a
+    #: cache round-trip)
+    prelint_rejected: int = 0
     wall_seconds: float = 0.0
     job_seconds: float = 0.0
     workers: int = 1
@@ -148,6 +185,7 @@ class BatchStats:
             "cache_misses": self.cache_misses,
             "cache_bytes": self.cache_bytes,
             "deduplicated": self.deduplicated,
+            "prelint_rejected": self.prelint_rejected,
             "hit_rate": self.hit_rate,
             "wall_seconds": self.wall_seconds,
             "job_seconds": self.job_seconds,
@@ -215,6 +253,11 @@ class BatchResult:
             parts.append(
                 f"deduplicated {s.deduplicated} repeated job(s) "
                 "within the batch"
+            )
+        if s.prelint_rejected:
+            parts.append(
+                f"rejected {s.prelint_rejected} trivially-infeasible "
+                "job(s) by pre-search diagnosis (no search run)"
             )
         if s.parallel_clamped:
             parts.append(
@@ -386,6 +429,14 @@ class BatchEngine:
         followers: dict[int, list[int]] = {}
         with obs.span("cache-lookup", cat="batch", jobs=len(jobs)):
             for index, job in enumerate(jobs):
+                rejected = prelint_outcome(job)
+                if rejected is not None:
+                    # diagnosed in the parent: never pooled, never
+                    # cached (the diagnosis is cheaper than the cache
+                    # round-trip and must track the live lint rules)
+                    outcomes[index] = rejected
+                    stats.prelint_rejected += 1
+                    continue
                 key = job.key()
                 cached = (
                     self.cache.get(key)
@@ -468,6 +519,9 @@ class BatchEngine:
         registry.inc("batch.jobs.total", len(jobs))
         registry.inc("batch.jobs.executed", len(pending))
         registry.inc("batch.jobs.deduplicated", stats.deduplicated)
+        registry.inc(
+            "batch.jobs.prelint_rejected", stats.prelint_rejected
+        )
         if self.cache is not None:
             registry.inc("batch.cache.hits", stats.cache_hits)
             registry.inc("batch.cache.misses", stats.cache_misses)
@@ -593,7 +647,11 @@ class Submission:
     * ``"cached"`` — served from the result cache, future already done;
     * ``"joined"`` — an identical job (same content-addressed key) is
       already computing; this submission shares its future;
-    * ``"submitted"`` — shipped to a pool worker as a fresh compute.
+    * ``"submitted"`` — shipped to a pool worker as a fresh compute;
+    * ``"rejected"`` — the pre-search lint gate diagnosed the spec as
+      trivially infeasible; the future is already done with an
+      ``infeasible`` outcome carrying the diagnostics, and no pool
+      worker was ever involved.
     """
 
     key: str
@@ -604,6 +662,7 @@ class Submission:
     CACHED = "cached"
     JOINED = "joined"
     SUBMITTED = "submitted"
+    REJECTED = "rejected"
 
 
 class SubmissionBridge:
@@ -696,8 +755,19 @@ class SubmissionBridge:
         job = self.engine._normalize(item)
         if timeout is not None:
             job = replace(job, timeout=timeout)
-        key = job.key()
         self.metrics.inc("bridge.submissions")
+        rejected = prelint_outcome(job)
+        if rejected is not None:
+            # diagnosed without the pool: resolve immediately, same
+            # parent-side gate as BatchEngine.run (never cached, never
+            # counted as a compute)
+            self.metrics.inc("bridge.rejected")
+            future: Future = Future()
+            future.set_result(rejected)
+            return Submission(
+                rejected.key, job, future, Submission.REJECTED
+            )
+        key = job.key()
         with self._lock:
             if self._closed or self._pool is None:
                 raise RuntimeError(
@@ -708,7 +778,7 @@ class SubmissionBridge:
                 cached = cache.get(key)
                 if cached is not None:
                     self.metrics.inc("bridge.cache_hits")
-                    future: Future = Future()
+                    future = Future()
                     future.set_result(
                         BatchEngine._replay(cached, job)
                     )

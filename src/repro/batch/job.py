@@ -113,6 +113,14 @@ class JobOutcome:
     ``elapsed_seconds``); wall-clock quantities live in
     ``elapsed_seconds`` / ``search_seconds`` so :meth:`row` can stay
     run-to-run deterministic.
+
+    ``diagnostics`` carries the pre-search lint findings
+    (:class:`repro.lint.Diagnostic` dicts) when the scheduler's
+    fast-fail gate decided the verdict: a trivially-infeasible spec
+    gets ``status="infeasible"`` with the violated necessary
+    condition named here and zero search counters.  ``None`` when the
+    search ran undiagnosed — the deterministic row distinguishes
+    "searched and refuted" from "rejected by diagnosis".
     """
 
     spec_name: str
@@ -130,6 +138,7 @@ class JobOutcome:
     codegen_files: int | None = None
     trace_violations: int | None = None
     firing_schedule: list | None = None
+    diagnostics: list | None = None
     meta: dict = field(default_factory=dict)
 
     # -- serialisation -------------------------------------------------
@@ -151,6 +160,7 @@ class JobOutcome:
             "codegen_files": self.codegen_files,
             "trace_violations": self.trace_violations,
             "firing_schedule": self.firing_schedule,
+            "diagnostics": self.diagnostics,
             "meta": dict(self.meta),
         }
 
@@ -174,6 +184,7 @@ class JobOutcome:
             "codegen_files",
             "trace_violations",
             "firing_schedule",
+            "diagnostics",
             "meta",
         ):
             if name in payload:
@@ -208,6 +219,7 @@ class JobOutcome:
             "error": self.error,
             "codegen_files": self.codegen_files,
             "trace_violations": self.trace_violations,
+            "diagnostics": self.diagnostics,
             "meta": dict(self.meta),
         }
 
@@ -258,6 +270,11 @@ def execute_job(job: BatchJob) -> JobOutcome:
         outcome.search = search
         outcome.feasible = result.feasible
         outcome.exhausted = result.exhausted
+        if result.diagnostics:
+            outcome.diagnostics = [
+                diagnostic.to_dict()
+                for diagnostic in result.diagnostics
+            ]
         if result.feasible:
             outcome.status = STATUS_FEASIBLE
             outcome.schedule_length = result.schedule_length

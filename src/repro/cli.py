@@ -20,6 +20,10 @@ Subcommands mirror the stages of the ezRealtime architecture:
 * ``ezrt serve --port 8787`` — run the synthesis service: a JSON API
   over the batch engine with SSE progress streams and content-addressed
   results (see ``docs/service.md``);
+* ``ezrt lint spec.xml @fig3 ...`` — diagnose specifications before
+  searching: necessary-condition infeasibility, structural net
+  problems and engine/option incompatibilities, with stable
+  diagnostic codes (see ``docs/linting.md``);
 * ``ezrt examples`` — list the built-in case studies (usable wherever
   a spec file is expected, via ``@name``).
 """
@@ -531,6 +535,48 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    # deferred import: the lint package pulls the composer and the
+    # utilization analysis in; the other subcommands don't need it
+    from repro.lint import has_errors, lint_spec
+
+    failed = False
+    payload = []
+    for ref in args.specs:
+        spec = _load_spec(ref)
+        diagnostics = lint_spec(
+            spec,
+            engine=args.engine,
+            delay_mode=args.delay_mode,
+            parallel=args.parallel,
+            parallel_mode=args.parallel_mode,
+        )
+        failed = failed or has_errors(diagnostics)
+        if args.json:
+            payload.append(
+                {
+                    "spec": spec.name,
+                    "source": ref,
+                    "diagnostics": [
+                        d.to_dict() for d in diagnostics
+                    ],
+                }
+            )
+            continue
+        if not diagnostics:
+            print(f"{ref}: {spec.name!r} is clean")
+            continue
+        print(f"{ref}: {spec.name!r}")
+        for diagnostic in diagnostics:
+            print(f"  {diagnostic.format()}")
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    # warnings alone never fail the lint: only error severity does
+    return 1 if failed else 0
+
+
 def _cmd_export(args) -> int:
     spec = _load_spec(args.spec)
     dsl_save(spec, args.output)
@@ -746,6 +792,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="append a deterministic JSONL audit log to this file",
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "lint",
+        help="diagnose specs before searching (necessary conditions)",
+        description=(
+            "Static analysis of specifications: necessary-condition "
+            "infeasibility (processor/bus overutilisation, empty "
+            "firing windows, precedence chains that cannot meet "
+            "their deadline), structural net problems (dead "
+            "transitions, token counts beyond the kernel engine's "
+            "capacity) and engine/option incompatibilities.  Exit "
+            "code 1 when any error-severity diagnostic fires; "
+            "warnings alone exit 0."
+        ),
+    )
+    p.add_argument(
+        "specs",
+        nargs="+",
+        help="spec files or @builtins to diagnose",
+    )
+    p.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="incremental",
+        help=(
+            "engine the spec is destined for (enables engine-"
+            "specific rules, e.g. the kernel token-capacity check)"
+        ),
+    )
+    p.add_argument(
+        "--delay-mode",
+        choices=("earliest", "extremes", "full"),
+        default="earliest",
+        help="planned delay mode (checked against the engine)",
+    )
+    p.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="N",
+        help="planned worker count (checked against the mode)",
+    )
+    p.add_argument(
+        "--parallel-mode",
+        choices=("portfolio", "worksteal"),
+        default="portfolio",
+        help="planned parallel mode (checked against the engine)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output: one object per spec",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("export", help="write a built-in spec as XML")
     p.add_argument("spec")

@@ -1,0 +1,561 @@
+"""Spec pack: static diagnosis of specifications, nets and configs.
+
+Three rule families, all pure functions returning
+:class:`~repro.lint.diagnostics.Diagnostic` lists:
+
+* **specification rules** (``EZS1xx``) — the well-formedness rules of
+  :mod:`repro.spec.validation` re-surfaced with stable codes, plus
+  *necessary-condition infeasibility*: cheap checks that prove a spec
+  unschedulable without searching (processor/bus overutilisation,
+  precedence chains that cannot meet a deadline).  These reuse the
+  classical bounds of :mod:`repro.analysis.utilization`;
+* **net rules** (``EZT2xx``) — structural checks on a compiled time
+  Petri net: transitions that can never fire, places that can never be
+  marked, token counts that threaten the packed kernel engine's
+  ``uint16`` cap;
+* **configuration rules** (``EZG3xx``) — engine/knob combinations the
+  scheduler would reject at construction time, checkable on raw
+  strings *before* a :class:`~repro.scheduler.config.SchedulerConfig`
+  is built (so ``ezrt lint --engine stateclass --delay-mode full``
+  can diagnose instead of crash).
+
+:func:`presearch_diagnostics` is the fast-fail gate wired into
+:func:`repro.scheduler.dfs.find_schedule`,
+:meth:`repro.batch.engine.BatchEngine.run`,
+:meth:`repro.batch.engine.SubmissionBridge.submit` and the service's
+``POST /jobs``: error-severity findings there mean the search verdict
+is already known to be infeasible, so none of those layers spends pool
+or search time on the spec.  It deliberately runs only the O(tasks)
+rules — the structural net rules need a compile and belong to
+``ezrt lint``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.utilization import necessary_feasible, total_utilization
+from repro.lint.diagnostics import ERROR, WARNING, Diagnostic, has_errors
+from repro.spec.model import EzRTSpec
+from repro.spec.timing import instance_count, schedule_period
+from repro.spec.validation import validate_spec
+from repro.tpn.kernel import MAX_TOKENS
+from repro.tpn.net import CompiledNet
+
+#: Utilisation slack below which ``U > capacity`` is treated as noise
+#: (mirrors :func:`repro.analysis.utilization.necessary_feasible`).
+_EPSILON = 1e-12
+
+#: Generic "specification invalid" fallback for validator messages the
+#: classifier has no dedicated code for (future validator rules land
+#: here until they get one).
+GENERIC_INVALID = "EZS100"
+
+
+# ---------------------------------------------------------------------------
+# Validation bridge: stable codes for repro.spec.validation messages
+# ---------------------------------------------------------------------------
+def classify_problem(problem: str) -> str:
+    """Map a :func:`repro.spec.validation.validate_spec` message to its
+    stable diagnostic code.
+
+    The mapping is by message shape; ``tests/test_validation.py``
+    asserts every validator error path classifies to the right code,
+    so validator wording and lint codes cannot drift apart.
+    """
+    if "requires c <= d <= p" in problem:
+        return "EZS103"
+    if "release window" in problem:
+        return "EZS104"
+    if problem.startswith("duplicate"):
+        return "EZS107"
+    if (
+        "precedes unknown task" in problem
+        or "precedes itself" in problem
+        or "excludes unknown task" in problem
+        or "excludes itself" in problem
+        or "is not symmetric" in problem
+    ):
+        return "EZS108"
+    if "precedence cycle" in problem or (
+        problem.startswith("precedence")
+        and "different periods" in problem
+    ):
+        return "EZS109"
+    if (
+        problem.startswith("message")
+        or "unknown sender" in problem
+        or "unknown receiver" in problem
+        or "precedes unknown message" in problem
+    ):
+        return "EZS110"
+    if "undeclared processor" in problem:
+        return "EZS111"
+    return GENERIC_INVALID
+
+
+def validation_diagnostics(spec: EzRTSpec) -> list[Diagnostic]:
+    """Well-formedness problems as coded diagnostics (all errors)."""
+    return [
+        Diagnostic(
+            code=classify_problem(problem),
+            severity=ERROR,
+            message=problem,
+            hint="fix the specification; see docs/linting.md",
+            element=f"spec {spec.name!r}",
+        )
+        for problem in validate_spec(spec)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Necessary-condition infeasibility (the fast-fail gate's rules)
+# ---------------------------------------------------------------------------
+def _utilization_diagnostics(spec: EzRTSpec) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    processors = spec.processor_names() or ("proc0",)
+    # with one processor the per-processor loop below reports the same
+    # overload with a sharper element, so the global bound would only
+    # duplicate it
+    if len(processors) > 1 and not necessary_feasible(
+        spec, processors=len(processors)
+    ):
+        diagnostics.append(
+            Diagnostic(
+                code="EZS101",
+                severity=ERROR,
+                message=(
+                    f"total utilisation "
+                    f"{total_utilization(spec):.3f} exceeds the "
+                    f"{len(processors)} available processor(s); no "
+                    "schedule can exist"
+                ),
+                hint=(
+                    "lower computation times, raise periods or add "
+                    "processors"
+                ),
+                element=f"spec {spec.name!r}",
+            )
+        )
+    by_processor: dict[str, float] = {}
+    for task in spec.tasks:
+        by_processor[task.processor] = (
+            by_processor.get(task.processor, 0.0) + task.utilization
+        )
+    for processor, load in sorted(by_processor.items()):
+        if load > 1.0 + _EPSILON:
+            diagnostics.append(
+                Diagnostic(
+                    code="EZS101",
+                    severity=ERROR,
+                    message=(
+                        f"utilisation {load:.3f} on processor "
+                        f"{processor!r} exceeds 1.0; its task set is "
+                        "unschedulable on any policy"
+                    ),
+                    hint=(
+                        "move tasks to another processor or relax "
+                        "their (c, p)"
+                    ),
+                    element=f"processor {processor!r}",
+                )
+            )
+    by_bus: dict[str, float] = {}
+    known = set(spec.task_names())
+    for message in spec.messages:
+        if message.sender is None or message.sender not in known:
+            continue
+        period = spec.task(message.sender).period
+        by_bus[message.bus] = (
+            by_bus.get(message.bus, 0.0)
+            + message.communication / period
+        )
+    for bus, load in sorted(by_bus.items()):
+        if load > 1.0 + _EPSILON:
+            diagnostics.append(
+                Diagnostic(
+                    code="EZS102",
+                    severity=ERROR,
+                    message=(
+                        f"utilisation {load:.3f} on bus {bus!r} "
+                        "exceeds 1.0; the transfers cannot all fit "
+                        "in one hyper-period"
+                    ),
+                    hint=(
+                        "split messages across buses or shorten "
+                        "transfers"
+                    ),
+                    element=f"bus {bus!r}",
+                )
+            )
+    return diagnostics
+
+
+def _chain_diagnostics(spec: EzRTSpec) -> list[Diagnostic]:
+    """EZS106: a precedence chain's earliest completion beats no
+    deadline.
+
+    The bound ignores resource contention entirely — it is the DAG
+    longest path of ``phase + release`` starts, computation times and
+    message transfer delays — so exceeding the deadline is a proof of
+    infeasibility, never a heuristic.  Validation guarantees matched
+    periods along precedence edges, so checking the first instance of
+    every task suffices (later instances shift both sides by ``k·p``).
+    """
+    known = set(spec.task_names())
+    predecessors: dict[str, list[tuple[str, int]]] = {
+        name: [] for name in known
+    }
+    for before, after in spec.precedence_pairs():
+        if before in known and after in known:
+            predecessors[after].append((before, 0))
+    for message in spec.messages:
+        if (
+            message.sender in known
+            and message.precedes is not None
+            and message.precedes in known
+        ):
+            predecessors[message.precedes].append(
+                (
+                    message.sender,
+                    message.communication + message.grant_bus,
+                )
+            )
+    completion: dict[str, float] = {}
+    visiting: set[str] = set()
+
+    def earliest_completion(name: str) -> float:
+        if name in completion:
+            return completion[name]
+        if name in visiting:  # cycle: validation reports it (EZS109)
+            return 0.0
+        visiting.add(name)
+        task = spec.task(name)
+        start = float(task.phase + task.release)
+        for before, delay in predecessors[name]:
+            start = max(start, earliest_completion(before) + delay)
+        visiting.discard(name)
+        completion[name] = start + task.computation
+        return completion[name]
+
+    diagnostics: list[Diagnostic] = []
+    for task in spec.tasks:
+        finish = earliest_completion(task.name)
+        if finish > task.phase + task.deadline + _EPSILON:
+            diagnostics.append(
+                Diagnostic(
+                    code="EZS106",
+                    severity=ERROR,
+                    message=(
+                        f"precedence chain forces earliest completion "
+                        f"{finish:g} past the deadline "
+                        f"{task.phase + task.deadline} of task "
+                        f"{task.name!r}; no schedule can exist"
+                    ),
+                    hint=(
+                        "shorten the chain's computation/transfer "
+                        "times or extend the deadline"
+                    ),
+                    element=f"task {task.name!r}",
+                )
+            )
+    return diagnostics
+
+
+def _laxity_diagnostics(spec: EzRTSpec) -> list[Diagnostic]:
+    """EZS105: zero-slack tasks (feasible, but brittle to jitter)."""
+    return [
+        Diagnostic(
+            code="EZS105",
+            severity=WARNING,
+            message=(
+                f"task {task.name!r} has zero laxity (d - r - c = 0): "
+                "its only admissible start time is its release"
+            ),
+            hint="any dispatcher overhead makes this deadline miss",
+            element=f"task {task.name!r}",
+        )
+        for task in spec.tasks
+        if task.laxity == 0
+    ]
+
+
+def infeasibility_diagnostics(spec: EzRTSpec) -> list[Diagnostic]:
+    """Necessary-condition infeasibility errors plus slack warnings.
+
+    Assumes a validation-clean spec (unknown relation targets would
+    raise); callers holding unvalidated specs run
+    :func:`validation_diagnostics` first and stop on its errors.
+    """
+    diagnostics = _utilization_diagnostics(spec)
+    diagnostics.extend(_chain_diagnostics(spec))
+    diagnostics.extend(_laxity_diagnostics(spec))
+    return diagnostics
+
+
+def token_cap_diagnostics(
+    spec: EzRTSpec, engine: str | None = None
+) -> list[Diagnostic]:
+    """EZT203 (spec level): instance counts near the kernel token cap.
+
+    A task with ``N = PS / p`` instances marks instance-counting
+    places with up to ``N`` tokens over the hyper-period; the packed
+    kernel engine stores markings as ``uint16`` words and refuses
+    loudly mid-search past :data:`repro.tpn.kernel.MAX_TOKENS`.  This
+    surfaces the overflow *before* the search (and before a compile
+    that would unroll the instances).
+    """
+    if not spec.tasks:
+        return []
+    period = schedule_period(spec)
+    diagnostics: list[Diagnostic] = []
+    for task in spec.tasks:
+        instances = instance_count(task, period)
+        if instances > MAX_TOKENS:
+            kernel = engine == "kernel"
+            diagnostics.append(
+                Diagnostic(
+                    code="EZT203",
+                    severity=WARNING,
+                    message=(
+                        f"task {task.name!r} has {instances} instances "
+                        f"in the hyper-period {period}, beyond the "
+                        f"packed kernel's {MAX_TOKENS}-token place cap"
+                        + (
+                            "; the kernel engine will abort mid-search"
+                            if kernel
+                            else ""
+                        )
+                    ),
+                    hint=(
+                        "harmonise the periods to shrink the "
+                        "hyper-period, or use a non-kernel engine"
+                    ),
+                    element=f"task {task.name!r}",
+                )
+            )
+    return diagnostics
+
+
+def presearch_diagnostics(
+    spec: EzRTSpec, engine: str | None = None
+) -> list[Diagnostic]:
+    """The fast-fail gate: cheap diagnostics run before every search.
+
+    Error severity ⇒ the spec is provably infeasible and the caller
+    should return a diagnosed infeasible verdict without searching;
+    warnings ride along on the result.  O(tasks + relations): never
+    compiles, never searches.
+
+    Ill-formed specs are deliberately *not* gated: an invalid spec is
+    the composer's error to raise (status ``error``, not a feasibility
+    verdict), and the infeasibility rules assume validity — so the
+    gate stands aside and lets the pipeline fail the authoritative
+    way.  ``ezrt lint`` reports such specs through
+    :func:`validation_diagnostics` instead.
+    """
+    if validate_spec(spec):
+        return []
+    diagnostics = infeasibility_diagnostics(spec)
+    if engine == "kernel":
+        diagnostics.extend(token_cap_diagnostics(spec, engine=engine))
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Net rules (EZT2xx): structural checks on a compiled TPN
+# ---------------------------------------------------------------------------
+def net_diagnostics(
+    net: CompiledNet, engine: str | None = None
+) -> list[Diagnostic]:
+    """Structurally dead transitions, unreachable places, token caps.
+
+    Potential reachability is the usual monotone over-approximation:
+    a place is *potentially markable* if initially marked or in the
+    postset of a potentially fireable transition; a transition is
+    *potentially fireable* once every preset place is potentially
+    markable.  Transitions outside the fixpoint can never fire in any
+    run (EZT201); unmarkable places are dead weight (EZT202).
+    """
+    markable = {
+        index for index, tokens in enumerate(net.m0) if tokens > 0
+    }
+    fireable: set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(net.transition_names)):
+            if index in fireable:
+                continue
+            if all(place in markable for place, _weight in net.pre[index]):
+                fireable.add(index)
+                changed = True
+                for place, _weight in net.post[index]:
+                    markable.add(place)
+    diagnostics: list[Diagnostic] = []
+    for index, name in enumerate(net.transition_names):
+        if index not in fireable:
+            diagnostics.append(
+                Diagnostic(
+                    code="EZT201",
+                    severity=ERROR,
+                    message=(
+                        f"transition {name!r} is structurally dead: "
+                        "some preset place can never be marked"
+                    ),
+                    hint=(
+                        "remove the transition or supply its missing "
+                        "input tokens"
+                    ),
+                    element=f"transition {name!r}",
+                )
+            )
+    for index, name in enumerate(net.place_names):
+        if index not in markable:
+            diagnostics.append(
+                Diagnostic(
+                    code="EZT202",
+                    severity=WARNING,
+                    message=(
+                        f"place {name!r} can never be marked: no "
+                        "initial token and no fireable producer"
+                    ),
+                    hint="dead structure; remove it or feed it",
+                    element=f"place {name!r}",
+                )
+            )
+    for index, tokens in enumerate(net.m0):
+        if tokens > MAX_TOKENS:
+            diagnostics.append(
+                Diagnostic(
+                    code="EZT203",
+                    severity=ERROR if engine == "kernel" else WARNING,
+                    message=(
+                        f"place {net.place_names[index]!r} starts with "
+                        f"{tokens} tokens, beyond the packed kernel's "
+                        f"{MAX_TOKENS}-token cap"
+                    ),
+                    hint=(
+                        "shrink the initial marking or use a "
+                        "non-kernel engine"
+                    ),
+                    element=f"place {net.place_names[index]!r}",
+                )
+            )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Configuration rules (EZG3xx): engine/knob compatibility on raw strings
+# ---------------------------------------------------------------------------
+def config_diagnostics(
+    engine: str | None = None,
+    delay_mode: str | None = None,
+    parallel: int = 0,
+    parallel_mode: str | None = None,
+) -> list[Diagnostic]:
+    """Engine/configuration incompatibilities, pre-construction.
+
+    Accepts raw strings (``None`` = knob not set) so callers can lint
+    a configuration *before* :class:`SchedulerConfig.__post_init__`
+    gets the chance to raise.
+    """
+    from repro.scheduler.config import (
+        DELAY_MODES,
+        ENGINES,
+        PARALLEL_MODES,
+    )
+
+    diagnostics: list[Diagnostic] = []
+    for label, value, options in (
+        ("engine", engine, ENGINES),
+        ("delay_mode", delay_mode, DELAY_MODES),
+        ("parallel_mode", parallel_mode, PARALLEL_MODES),
+    ):
+        if value is not None and value not in options:
+            diagnostics.append(
+                Diagnostic(
+                    code="EZG303",
+                    severity=ERROR,
+                    message=(
+                        f"unknown {label} {value!r}; expected one of "
+                        f"{options}"
+                    ),
+                    hint=f"pick a supported {label}",
+                    element=f"config.{label}",
+                )
+            )
+    if engine == "stateclass" and delay_mode not in (None, "earliest"):
+        diagnostics.append(
+            Diagnostic(
+                code="EZG301",
+                severity=ERROR,
+                message=(
+                    f"delay_mode {delay_mode!r} has no effect on the "
+                    "dense-time state-class engine: a state class "
+                    "already covers every dense firing delay"
+                ),
+                hint="keep the default delay_mode='earliest'",
+                element="config.delay_mode",
+            )
+        )
+    if (
+        parallel >= 2
+        and parallel_mode == "worksteal"
+        and engine not in (None, "incremental")
+    ):
+        diagnostics.append(
+            Diagnostic(
+                code="EZG302",
+                severity=ERROR,
+                message=(
+                    f"work-stealing mode cannot drive the {engine!r} "
+                    "engine: the shared visited filter runs on the "
+                    "incremental engine's FastState hashes"
+                ),
+                hint=(
+                    "use engine='incremental' or "
+                    "parallel_mode='portfolio'"
+                ),
+                element="config.parallel_mode",
+            )
+        )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# The whole spec pack behind one call (what `ezrt lint` runs)
+# ---------------------------------------------------------------------------
+def lint_spec(
+    spec: EzRTSpec,
+    engine: str | None = None,
+    delay_mode: str | None = None,
+    parallel: int = 0,
+    parallel_mode: str | None = None,
+    compile_net: bool = True,
+) -> list[Diagnostic]:
+    """Run every spec-pack rule against one specification.
+
+    Validation errors short-circuit the deeper rules (an ill-formed
+    spec cannot be compiled or utilisation-analysed meaningfully), and
+    a token-cap finding skips the compile (unrolling the offending
+    hyper-period is exactly the explosion being diagnosed).
+    """
+    diagnostics = validation_diagnostics(spec)
+    if not has_errors(diagnostics):
+        diagnostics.extend(infeasibility_diagnostics(spec))
+        cap = token_cap_diagnostics(spec, engine=engine)
+        diagnostics.extend(cap)
+        if compile_net and not cap and not has_errors(diagnostics):
+            from repro.blocks.composer import compose
+
+            diagnostics.extend(
+                net_diagnostics(compose(spec).compiled(), engine=engine)
+            )
+    diagnostics.extend(
+        config_diagnostics(
+            engine=engine,
+            delay_mode=delay_mode,
+            parallel=parallel,
+            parallel_mode=parallel_mode,
+        )
+    )
+    return diagnostics

@@ -222,6 +222,7 @@ def find_schedule(
     model: ComposedModel,
     config: SchedulerConfig | None = None,
     engine: str | None = None,
+    prelint: bool = True,
 ) -> SchedulerResult:
     """Synthesise a schedule for a composed model.
 
@@ -229,9 +230,41 @@ def find_schedule(
     downstream stages reuse it) and attaches the model's theoretical
     minimum firing count to the result for the paper's
     visited-vs-minimum comparison.
+
+    ``prelint`` (default on) runs the O(tasks) necessary-condition
+    checks of :func:`repro.lint.specrules.presearch_diagnostics`
+    first: a spec that provably cannot be scheduled (processor/bus
+    overutilisation, a precedence chain that cannot meet its
+    deadline) returns a *diagnosed* infeasible result immediately —
+    ``result.diagnostics`` names the violated condition and no state
+    is ever searched.  Warning-severity findings (e.g. the kernel
+    engine's token-cap risk) never change the verdict; they attach to
+    whatever result the search produces.  Pass ``prelint=False`` to
+    force the exhaustive search to refute such specs the long way.
     """
+    config = config or SchedulerConfig()
+    diagnostics: list = []
+    if prelint:
+        # deferred import: repro.lint imports the scheduler config
+        from repro.lint.diagnostics import has_errors
+        from repro.lint.specrules import presearch_diagnostics
+
+        diagnostics = presearch_diagnostics(
+            model.spec, engine=engine or config.engine
+        )
+        if has_errors(diagnostics):
+            result = SchedulerResult(
+                feasible=False,
+                config=config,
+                exhausted=False,
+                diagnostics=diagnostics,
+            )
+            result.minimum_firings = model.minimum_firings()
+            return result
     result = search(model.compiled(), config, engine=engine)
     result.minimum_firings = model.minimum_firings()
+    if diagnostics:
+        result.diagnostics = diagnostics
     return result
 
 

@@ -121,6 +121,15 @@ class SchedulerResult:
             firing giving the absolute dense window the firing time
             was concretised from (``latest`` may be ``INF``).  ``None``
             for the discrete engines.
+        diagnostics: :class:`repro.lint.Diagnostic` findings attached
+            by the pre-search lint gate
+            (:func:`repro.scheduler.dfs.find_schedule`): for a
+            trivially-infeasible spec the error diagnostics *are* the
+            verdict (``feasible=False`` with zero states searched);
+            warnings (e.g. the kernel token-cap risk) ride along on
+            normally-searched results.  Empty for direct
+            :func:`~repro.scheduler.dfs.search` calls on compiled
+            nets — the gate is spec-level.
         metrics: :mod:`repro.obs` metrics snapshot of the search —
             ``{"counters", "gauges", "histograms"}``.  A serial search
             carries its own registry's snapshot (e.g. the
@@ -144,6 +153,7 @@ class SchedulerResult:
     workers: int = 1
     interval_schedule: list[tuple[str, int, float]] | None = None
     metrics: dict = field(default_factory=dict)
+    diagnostics: list = field(default_factory=list)
 
     @property
     def schedule_length(self) -> int:
@@ -183,4 +193,6 @@ class SchedulerResult:
             lines.append(f"winning policy  : {self.winner_policy}")
         if self.winner_engine is not None:
             lines.append(f"winning engine  : {self.winner_engine}")
+        for diagnostic in self.diagnostics:
+            lines.append(f"lint            : {diagnostic.format()}")
         return "\n".join(lines)

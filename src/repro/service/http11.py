@@ -49,12 +49,23 @@ REASONS = {
 class HttpError(Exception):
     """Abort request handling with a specific status code."""
 
-    def __init__(self, status: int, message: str, *, allow: str | None = None):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        allow: str | None = None,
+        extra: dict | None = None,
+    ):
         super().__init__(message)
         self.status = status
         self.message = message
         #: for 405 responses: the Allow header value
         self.allow = allow
+        #: extra machine-readable payload fields merged into the JSON
+        #: error body (e.g. the lint ``diagnostics`` of a 422); never
+        #: overrides the ``error``/``status`` keys
+        self.extra = extra
 
 
 @dataclass
@@ -225,9 +236,12 @@ def error_response(error: HttpError, *, keep_alive: bool = True) -> bytes:
     headers = {}
     if error.allow:
         headers["allow"] = error.allow
+    payload = dict(error.extra or {})
+    payload["error"] = error.message
+    payload["status"] = error.status
     return json_response(
         error.status,
-        {"error": error.message, "status": error.status},
+        payload,
         headers=headers,
         keep_alive=keep_alive,
     )

@@ -54,6 +54,10 @@ DISPOSITIONS = {
     Submission.SUBMITTED: "computed",
     Submission.JOINED: "deduplicated",
     Submission.CACHED: "cached",
+    # normally unreachable through POST /jobs (the app's 422 gate runs
+    # first), but a direct manager.submit of a trivially-infeasible
+    # spec still gets a coherent record instead of a KeyError
+    Submission.REJECTED: "rejected",
 }
 
 

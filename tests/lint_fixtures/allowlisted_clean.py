@@ -1,0 +1,16 @@
+"""Fixture: an allowlisted wall-clock call produces no finding.
+
+Proves the ``# lint: allow CODE`` escape hatch works: the call below
+would be an EZC101 in this impersonated deterministic module, but the
+directive on the preceding line suppresses exactly that code there —
+and nothing else in the file fires, so the expected finding set is
+empty.
+"""
+# lint-module: repro/batch/fixture_lockinfo.py
+
+import time
+
+
+def lock_age(mtime):
+    # lint: allow EZC101 — cross-process lock aging needs the wall clock
+    return max(0.0, time.time() - mtime)

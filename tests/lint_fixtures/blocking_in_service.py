@@ -1,0 +1,30 @@
+"""Fixture: blocking calls planted inside service coroutines.
+
+Impersonates a :mod:`repro.service` module, where ``async def`` bodies
+must never call into blocking I/O — one stalled coroutine stalls every
+connection on the event loop.
+"""
+# lint-module: repro/service/fixture_handler.py
+
+import subprocess
+import time
+
+
+async def handle(request):
+    time.sleep(0.1)  # expect: EZC102
+    with open("state.json") as handle:  # expect: EZC102
+        data = handle.read()
+    subprocess.run(["sync"])  # expect: EZC102
+    return data
+
+
+async def nested():
+    async def inner():
+        return subprocess.check_output(["true"])  # expect: EZC102
+
+    return await inner()
+
+
+def blocking_is_fine_outside_coroutines(path):
+    with open(path) as handle:
+        return handle.read()

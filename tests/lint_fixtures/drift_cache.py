@@ -1,0 +1,18 @@
+"""Fixture: a fingerprint that drifted from its config.
+
+The ``"scheduler"`` section below misses the config's ``policy`` field
+(two configs differing only in it would collide on one cache key) and
+carries a ``stale_knob`` key that is not a field at all — both are
+EZC104 findings anchored on the section's opening line.
+"""
+# lint-fingerprint-config: drift_config.py
+
+
+def job_fingerprint(config):
+    return {
+        "scheduler": {  # expect: EZC104
+            "engine": config.engine,
+            "max_states": config.max_states,
+            "stale_knob": True,
+        },
+    }

@@ -1,0 +1,24 @@
+"""Fixture: mutable default arguments (the repository-wide rule).
+
+No ``lint-module`` directive: EZC103 applies everywhere, so the plain
+basename path is enough to trigger it.
+"""
+
+import collections
+
+
+def append_row(row, rows=[]):  # expect: EZC103
+    rows.append(row)
+    return rows
+
+
+def tally(counts={}):  # expect: EZC103
+    return counts
+
+
+def group(key, *, index=collections.defaultdict(list)):  # expect: EZC103
+    return index[key]
+
+
+def fresh(rows=None):
+    return list(rows or ())

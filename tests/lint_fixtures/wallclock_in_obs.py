@@ -1,0 +1,25 @@
+"""Fixture: wall-clock reads planted in a deterministic module.
+
+The ``lint-module`` directive makes the rules treat this file as part
+of :mod:`repro.obs`, where output must be byte-identical run over run.
+"""
+# lint-module: repro/obs/fixture_sink.py
+
+import time
+from datetime import datetime
+
+
+def stamp_row(row):
+    row["written_at"] = time.time()  # expect: EZC101
+    row["pretty"] = datetime.now().isoformat()  # expect: EZC101
+    return row
+
+
+def localised(row):
+    row["local"] = time.strftime("%H:%M")  # expect: EZC101
+    return row
+
+
+def duration_since(t0):
+    # durations (monotonic/perf_counter) are deliberately allowed
+    return time.monotonic() - t0

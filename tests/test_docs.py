@@ -40,6 +40,7 @@ DOCS_DIR = os.path.join(REPO_ROOT, "docs")
 TUTORIAL = os.path.join(DOCS_DIR, "tutorial.md")
 OBSERVABILITY = os.path.join(DOCS_DIR, "observability.md")
 SERVICE = os.path.join(DOCS_DIR, "service.md")
+LINTING = os.path.join(DOCS_DIR, "linting.md")
 
 _FENCE = re.compile(r"```bash\n(.*?)```", re.DOTALL)
 _JSON_FENCE = re.compile(r"```json\n(.*?)```", re.DOTALL)
@@ -137,6 +138,25 @@ def _free_port() -> int:
         return probe.getsockname()[1]
     finally:
         probe.close()
+
+
+class TestLintingCommands:
+    def test_doc_covers_the_lint_workflows(self):
+        commands = _doc_commands(LINTING)
+        assert any("lint" in command for command in commands)
+        assert any("--json" in command for command in commands)
+        assert any("--engine kernel" in command for command in commands)
+        with open(LINTING, encoding="utf-8") as fh:
+            text = fh.read()
+        # the rule table documents every code range
+        for fragment in ("EZS101", "EZT201", "EZG301", "EZC101"):
+            assert fragment in text, f"rule table misses {fragment}"
+        assert "python -m repro.lint --self" in text
+
+    def test_every_linting_command_succeeds(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        _run_doc_commands(LINTING, tmp_path, monkeypatch, capsys)
 
 
 class TestServiceWalkthrough:
@@ -260,5 +280,6 @@ class TestDocLinks:
             "docs/tutorial.md",
             "docs/observability.md",
             "docs/service.md",
+            "docs/linting.md",
         ):
             assert page in readme, f"README does not link {page}"

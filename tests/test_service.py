@@ -110,11 +110,26 @@ def _two_task_doc(name: str = "two-task") -> dict:
 
 
 def _overloaded_doc() -> dict:
-    """Utilisation > 1 on one processor: provably infeasible."""
+    """Utilisation > 1 on one processor: provably infeasible, so the
+    pre-search lint gate answers 422 without creating a job."""
     spec = (
         SpecBuilder("overloaded")
         .task("A", computation=7, deadline=10, period=10)
         .task("B", computation=7, deadline=10, period=10)
+        .build()
+    )
+    return spec_to_json(spec)
+
+
+def _tight_pair_doc() -> dict:
+    """Search-refuted infeasible: U == 1.0 and every necessary
+    condition holds, but two zero-laxity non-preemptive tasks cannot
+    both meet their deadlines — the lint gate passes it through and
+    the DFS refutes it in a handful of states."""
+    spec = (
+        SpecBuilder("tight-pair")
+        .task("A", computation=5, deadline=5, period=10)
+        .task("B", computation=5, deadline=5, period=10)
         .build()
     )
     return spec_to_json(spec)
@@ -759,9 +774,26 @@ class TestJobsApi:
         assert done["status"] == "feasible"
 
     def test_infeasible_spec_outcome(self, client):
-        _, _, submitted = client.submit(_overloaded_doc())
+        # search-refuted infeasible, not lint-rejected: the gate lets
+        # it through and the DFS produces the verdict
+        _, _, submitted = client.submit(_tight_pair_doc())
         done = client.wait_done(submitted["job"])
         assert done["status"] == "infeasible"
+
+    def test_trivially_infeasible_rejected_422(self, client, handle):
+        status, _, reply = client.submit(_overloaded_doc())
+        assert status == 422
+        assert "trivially infeasible" in reply["error"]
+        codes = [d["code"] for d in reply["diagnostics"]]
+        assert "EZS101" in codes
+        severities = {d["severity"] for d in reply["diagnostics"]}
+        assert "error" in severities
+        # no job record was created and the pool never computed
+        _, _, listing = client.get("/jobs")
+        assert listing["jobs"] == []
+        counters = handle.service.bridge.metrics.snapshot()["counters"]
+        assert counters.get("bridge.computed", 0) == 0
+        assert counters.get("bridge.submissions", 0) == 0
 
     def test_tiny_budget_times_out(self, client):
         _, _, submitted = client.submit(
@@ -964,7 +996,7 @@ class TestAuditLog:
             client = Client(server.port)
             for doc in (
                 _two_task_doc(),
-                _overloaded_doc(),
+                _tight_pair_doc(),  # searched-infeasible: audited too
                 _two_task_doc(),  # cached: still audited
             ):
                 _, _, submitted = client.submit(doc)

@@ -245,3 +245,170 @@ class TestBuilder:
             .build()
         )
         assert spec.task("A").code.content == "late_attach();"
+
+
+# ----------------------------------------------------------------------
+# Diagnostic codes — every validator error path must classify to its
+# stable ``repro.lint`` code, so validator wording and the lint rule
+# table cannot drift apart.
+# ----------------------------------------------------------------------
+def _with_duplicate_task(spec):
+    spec.tasks.append(Task("A", computation=1, deadline=5, period=10))
+
+
+def _with_duplicate_processor(spec):
+    spec.processors.append(Processor("proc0"))
+
+
+def _with_duplicate_message(spec):
+    # the model API rejects duplicates up front; bypass it to exercise
+    # the validator's own check on hand-built specs
+    spec.add_message(Message("m", sender="A", precedes="B"))
+    spec.messages.append(Message("m", sender="B", precedes="A"))
+    spec.task("A").precedes_msgs.append("m")
+    spec.task("B").precedes_msgs.append("m")
+
+
+def _with_duplicate_identifier(spec):
+    spec.tasks[1].identifier = spec.tasks[0].identifier
+
+
+def _with_bad_timing(spec):
+    spec.tasks[0].deadline = 12
+
+
+def _with_empty_window(spec):
+    spec.tasks[0].release = 7
+
+
+def _with_unknown_precedence(spec):
+    spec.tasks[0].precedes_tasks.append("GHOST")
+
+
+def _with_self_precedence(spec):
+    spec.tasks[0].precedes_tasks.append("A")
+
+
+def _with_unknown_exclusion(spec):
+    spec.tasks[0].excludes_tasks.append("GHOST")
+
+
+def _with_self_exclusion(spec):
+    spec.tasks[0].excludes_tasks.append("A")
+
+
+def _with_asymmetric_exclusion(spec):
+    spec.tasks[0].excludes_tasks.append("B")
+
+
+def _with_period_mismatch_precedence(spec):
+    spec.tasks[1].period = 20
+    spec.tasks[1].deadline = 12
+    spec.tasks[0].precedes_tasks.append("B")
+
+
+def _with_precedence_cycle(spec):
+    spec.tasks[0].precedes_tasks.append("B")
+    spec.tasks[1].precedes_tasks.append("A")
+
+
+def _with_unknown_sender(spec):
+    spec.add_message(Message("m", sender="GHOST"))
+
+
+def _with_unknown_receiver(spec):
+    spec.add_message(Message("m", sender="A", precedes="GHOST"))
+    spec.task("A").precedes_msgs.append("m")
+
+
+def _with_loopback_message(spec):
+    spec.add_message(Message("m", sender="A", precedes="A"))
+    spec.task("A").precedes_msgs.append("m")
+
+
+def _with_period_mismatch_message(spec):
+    spec.tasks[1].period = 20
+    spec.tasks[1].deadline = 12
+    spec.add_message(Message("m", sender="A", precedes="B"))
+    spec.task("A").precedes_msgs.append("m")
+
+
+def _with_dangling_precedes_msgs(spec):
+    spec.task("A").precedes_msgs.append("ghost-msg")
+
+
+def _with_unlisted_message(spec):
+    spec.add_message(Message("m", sender="A", precedes="B"))
+
+
+def _with_undeclared_processor(spec):
+    spec.tasks[0].processor = "proc9"
+
+
+_CODE_CASES = [
+    (_with_duplicate_task, "duplicate task name", "EZS107"),
+    (_with_duplicate_processor, "duplicate processor name", "EZS107"),
+    (_with_duplicate_message, "duplicate message name", "EZS107"),
+    (_with_duplicate_identifier, "duplicate identifier", "EZS107"),
+    (_with_bad_timing, "requires c <= d <= p", "EZS103"),
+    (_with_empty_window, "release window", "EZS104"),
+    (_with_unknown_precedence, "precedes unknown task", "EZS108"),
+    (_with_self_precedence, "precedes itself", "EZS108"),
+    (_with_unknown_exclusion, "excludes unknown task", "EZS108"),
+    (_with_self_exclusion, "excludes itself", "EZS108"),
+    (_with_asymmetric_exclusion, "is not symmetric", "EZS108"),
+    (
+        _with_period_mismatch_precedence,
+        "different periods",
+        "EZS109",
+    ),
+    (_with_precedence_cycle, "precedence cycle", "EZS109"),
+    (_with_unknown_sender, "unknown sender", "EZS110"),
+    (_with_unknown_receiver, "unknown receiver", "EZS110"),
+    (_with_loopback_message, "sender equals receiver", "EZS110"),
+    (_with_period_mismatch_message, "different periods", "EZS110"),
+    (
+        _with_dangling_precedes_msgs,
+        "precedes unknown message",
+        "EZS110",
+    ),
+    (_with_unlisted_message, "does not list it", "EZS110"),
+    (_with_undeclared_processor, "undeclared processor", "EZS111"),
+]
+
+
+class TestDiagnosticCodes:
+    @pytest.mark.parametrize(
+        "mutate, fragment, code",
+        _CODE_CASES,
+        ids=[mutate.__name__.lstrip("_") for mutate, _, _ in _CODE_CASES],
+    )
+    def test_problem_classifies_to_stable_code(
+        self, mutate, fragment, code
+    ):
+        from repro.lint import classify_problem
+
+        spec = base_spec()
+        mutate(spec)
+        matching = [
+            p for p in validate_spec(spec) if fragment in p
+        ]
+        assert matching, f"no validator problem mentions {fragment!r}"
+        assert classify_problem(matching[0]) == code
+
+    def test_unmatched_wording_falls_back_to_generic(self):
+        from repro.lint.specrules import GENERIC_INVALID
+
+        from repro.lint import classify_problem
+
+        assert classify_problem("some novel problem") == GENERIC_INVALID
+
+    def test_validation_diagnostics_cover_all_problems(self):
+        from repro.lint import validation_diagnostics
+
+        spec = base_spec()
+        _with_bad_timing(spec)
+        _with_undeclared_processor(spec)
+        diagnostics = validation_diagnostics(spec)
+        assert len(diagnostics) == len(validate_spec(spec))
+        assert {d.code for d in diagnostics} >= {"EZS103", "EZS111"}
