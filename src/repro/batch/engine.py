@@ -743,7 +743,13 @@ class SubmissionBridge:
             return len(self._inflight)
 
     # ------------------------------------------------------------------
-    def submit(self, item, *, timeout: float | None = None) -> Submission:
+    def submit(
+        self,
+        item,
+        *,
+        timeout: float | None = None,
+        progress_dir: str | None = None,
+    ) -> Submission:
         """Accept one spec/job; never blocks on the compute itself.
 
         ``timeout`` overrides the engine's default per-job budget for
@@ -751,6 +757,14 @@ class SubmissionBridge:
         so the same spec under a different budget is deliberately a
         *different* job (a timeout verdict must never shadow a longer
         search) and does not dedup against it.
+
+        ``progress_dir`` opts a *fresh* compute into live-progress
+        spooling: the worker writes rate-limited search counters to
+        ``<progress_dir>/<key>.json`` (see
+        :class:`repro.obs.progress.ProgressFile`).  Keyed by the same
+        fingerprint as the cache, so joined submissions observe the
+        leader's spool; cached hits never spool (nothing runs).  The
+        path is deliberately outside the cache key.
         """
         job = self.engine._normalize(item)
         if timeout is not None:
@@ -795,6 +809,13 @@ class SubmissionBridge:
             self.metrics.max_gauge(
                 "bridge.inflight_peak", len(self._inflight)
             )
+            if progress_dir is not None:
+                job = replace(
+                    job,
+                    progress_path=os.path.join(
+                        progress_dir, f"{key}.json"
+                    ),
+                )
             pool_future = self._pool.submit(execute_job, job)
         pool_future.add_done_callback(
             lambda pf: self._complete(key, job, pf, result_future)

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.batch.cache import cache_key
 from repro.obs.events import NULL_RECORDER, JsonlSink, Recorder
+from repro.obs.progress import ProgressFile
 from repro.blocks.composer import ComposerOptions, compose
 from repro.codegen import generate_project
 from repro.scheduler.config import SchedulerConfig
@@ -69,6 +70,13 @@ class BatchJob:
         store_schedule: keep the firing schedule in the outcome (off by
             default: campaigns only need aggregate numbers and the
             schedule of a large model is thousands of triples).
+        progress_path: when set, the worker spools rate-limited live
+            search counters (states visited, states/sec, depth, the
+            engine slot) to this file via
+            :class:`repro.obs.progress.ProgressFile` — the service's
+            SSE progress ticker reads them back.  Pure observability:
+            deliberately *not* part of the cache key, so a streamed
+            job still hits the same cached result.
         meta: free-form campaign parameters (e.g. ``n_tasks``,
             ``utilization``, ``seed``); carried into the outcome and
             its JSONL row, never into the cache key.
@@ -81,6 +89,7 @@ class BatchJob:
     codegen_target: str | None = None
     simulate: bool = False
     store_schedule: bool = False
+    progress_path: str | None = None
     meta: dict = field(default_factory=dict)
 
     def effective_config(self) -> SchedulerConfig:
@@ -260,10 +269,17 @@ def execute_job(job: BatchJob) -> JobOutcome:
         with obs.span("compile", cat="batch", spec=job.spec.name):
             model = compose(job.spec, job.options)
             model.compiled()
+        heartbeat = None
+        if job.progress_path:
+            # live-progress spool for SSE streaming; the slot label
+            # tells subscribers which engine is driving the search
+            heartbeat = ProgressFile(
+                job.progress_path, slot=config.engine
+            )
         # one compilation per job: find_schedule populates the model's
         # compiled-net cache, and the codegen/simulate stages below all
         # operate on the same `model` instead of re-freezing the net
-        result = find_schedule(model, config)
+        result = find_schedule(model, config, heartbeat=heartbeat)
         search = result.stats.as_dict()
         outcome.search_seconds = search.pop("elapsed_seconds", 0.0)
         search.pop("states_per_second", None)  # wall-clock-derived

@@ -36,6 +36,7 @@ from repro.lint.coderules import (
 from repro.lint.specrules import (
     classify_problem,
     config_diagnostics,
+    dbm_bound_diagnostics,
     infeasibility_diagnostics,
     lint_spec,
     net_diagnostics,
@@ -52,6 +53,7 @@ __all__ = [
     "check_fixture_dir",
     "classify_problem",
     "config_diagnostics",
+    "dbm_bound_diagnostics",
     "errors",
     "fingerprint_drift",
     "format_report",

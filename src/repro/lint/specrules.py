@@ -37,6 +37,8 @@ from repro.lint.diagnostics import ERROR, WARNING, Diagnostic, has_errors
 from repro.spec.model import EzRTSpec
 from repro.spec.timing import instance_count, schedule_period
 from repro.spec.validation import validate_spec
+from repro.tpn.dbm import MAX_BOUND
+from repro.tpn.interval import INF
 from repro.tpn.kernel import MAX_TOKENS
 from repro.tpn.net import CompiledNet
 
@@ -335,6 +337,91 @@ def token_cap_diagnostics(
     return diagnostics
 
 
+def dbm_bound_diagnostics(
+    spec: EzRTSpec, engine: str | None = None
+) -> list[Diagnostic]:
+    """EZT204 (spec level): timing magnitudes near the DBM bound cap.
+
+    The packed DBM core of the dense-time state-class engine stores
+    difference bounds in native 64-bit words with
+    :data:`repro.tpn.dbm.MAX_BOUND` as the static-interval cap — the
+    headroom that keeps closure sums provably below the ``DINF``
+    sentinel.  Every compiled transition interval is built from task
+    timings (phases, deadlines, periods) and message transfer times,
+    so a spec field past the cap compiles into an interval the
+    :class:`~repro.tpn.dbm.DbmEngine` refuses at construction.  This
+    surfaces the overflow *before* the compile, mirroring the
+    EZT203 token-cap rule.
+    """
+    if not spec.tasks:
+        return []
+    stateclass = engine == "stateclass"
+    tail = (
+        "; the state-class engine will refuse the net"
+        if stateclass
+        else ""
+    )
+    hint = (
+        "rescale the time unit (divide all timings by a common "
+        "factor) or use a discrete-time engine"
+    )
+    diagnostics: list[Diagnostic] = []
+    for task in spec.tasks:
+        worst = max(task.period, task.phase + task.deadline)
+        if worst > MAX_BOUND:
+            diagnostics.append(
+                Diagnostic(
+                    code="EZT204",
+                    severity=WARNING,
+                    message=(
+                        f"task {task.name!r} has timing magnitude "
+                        f"{worst}, beyond the packed DBM's "
+                        f"{MAX_BOUND} bound cap" + tail
+                    ),
+                    hint=hint,
+                    element=f"task {task.name!r}",
+                )
+            )
+    for message in spec.messages:
+        transfer = message.communication + message.grant_bus
+        if transfer > MAX_BOUND:
+            diagnostics.append(
+                Diagnostic(
+                    code="EZT204",
+                    severity=WARNING,
+                    message=(
+                        f"message {message.name!r} has transfer time "
+                        f"{transfer}, beyond the packed DBM's "
+                        f"{MAX_BOUND} bound cap" + tail
+                    ),
+                    hint=hint,
+                    element=f"message {message.name!r}",
+                )
+            )
+    if not diagnostics:
+        # individually-small periods can still multiply into a
+        # hyper-period past the cap (co-prime periods); the unrolled
+        # instance offsets inherit that magnitude
+        period = schedule_period(spec)
+        if period > MAX_BOUND:
+            diagnostics.append(
+                Diagnostic(
+                    code="EZT204",
+                    severity=WARNING,
+                    message=(
+                        f"hyper-period {period} exceeds the packed "
+                        f"DBM's {MAX_BOUND} bound cap" + tail
+                    ),
+                    hint=(
+                        "harmonise the periods to shrink the "
+                        "hyper-period, or use a discrete-time engine"
+                    ),
+                    element=f"spec {spec.name!r}",
+                )
+            )
+    return diagnostics
+
+
 def presearch_diagnostics(
     spec: EzRTSpec, engine: str | None = None
 ) -> list[Diagnostic]:
@@ -357,6 +444,8 @@ def presearch_diagnostics(
     diagnostics = infeasibility_diagnostics(spec)
     if engine == "kernel":
         diagnostics.extend(token_cap_diagnostics(spec, engine=engine))
+    elif engine == "stateclass":
+        diagnostics.extend(dbm_bound_diagnostics(spec, engine=engine))
     return diagnostics
 
 
@@ -438,6 +527,30 @@ def net_diagnostics(
                         "non-kernel engine"
                     ),
                     element=f"place {net.place_names[index]!r}",
+                )
+            )
+    for index, name in enumerate(net.transition_names):
+        lft = net.lft[index]
+        worst = net.eft[index] if lft == INF else max(
+            net.eft[index], int(lft)
+        )
+        if worst > MAX_BOUND:
+            diagnostics.append(
+                Diagnostic(
+                    code="EZT204",
+                    severity=(
+                        ERROR if engine == "stateclass" else WARNING
+                    ),
+                    message=(
+                        f"transition {name!r} has static interval "
+                        f"bound {worst}, beyond the packed DBM's "
+                        f"{MAX_BOUND} bound cap"
+                    ),
+                    hint=(
+                        "rescale the time unit or use a "
+                        "discrete-time engine"
+                    ),
+                    element=f"transition {name!r}",
                 )
             )
     return diagnostics
@@ -544,6 +657,7 @@ def lint_spec(
         diagnostics.extend(infeasibility_diagnostics(spec))
         cap = token_cap_diagnostics(spec, engine=engine)
         diagnostics.extend(cap)
+        diagnostics.extend(dbm_bound_diagnostics(spec, engine=engine))
         if compile_net and not cap and not has_errors(diagnostics):
             from repro.blocks.composer import compose
 

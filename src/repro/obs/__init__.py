@@ -33,7 +33,7 @@ from repro.obs.events import (
     Recorder,
 )
 from repro.obs.metrics import MetricsRegistry, format_metrics
-from repro.obs.progress import ProgressPrinter
+from repro.obs.progress import ProgressFile, ProgressPrinter
 from repro.obs.trace import (
     chrome_trace,
     read_events,
@@ -45,6 +45,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
+    "ProgressFile",
     "ProgressPrinter",
     "Recorder",
     "chrome_trace",

@@ -23,6 +23,8 @@ the one whose ``[progress]`` lines stop appearing.
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 import time
 
@@ -85,3 +87,72 @@ class ProgressPrinter:
             )
         if self.metrics is not None:
             self.metrics.inc("progress.samples")
+
+
+class ProgressFile:
+    """File-spooled heartbeat; called as ``(visited, generated, depth)``.
+
+    The cross-process cousin of :class:`ProgressPrinter`: a batch pool
+    worker runs the search in another process, so its heartbeat cannot
+    reach the service's SSE subscribers directly.  Instead the worker
+    spools rate-limited samples to a JSON file and the service's
+    progress ticker reads the latest sample back (see
+    :meth:`repro.service.jobs.JobManager._progress_ticker`).
+
+    Each write is atomic (temp file + ``os.replace`` in the same
+    directory), so a reader sees either the previous sample or the new
+    one, never a torn line.  The payload carries the live search
+    counters plus the ``slot`` label (the engine driving the search) —
+    exactly what the SSE ``progress`` event forwards.
+    """
+
+    __slots__ = (
+        "path",
+        "slot",
+        "interval",
+        "samples",
+        "_last_time",
+        "_last_visited",
+    )
+
+    def __init__(
+        self,
+        path: str,
+        slot: str = "search",
+        interval: float = 0.25,
+    ):
+        self.path = path
+        self.slot = slot
+        self.interval = interval
+        self.samples = 0
+        self._last_time = time.monotonic()
+        self._last_visited = 0
+
+    def __call__(self, visited: int, generated: int, depth: int) -> None:
+        now = time.monotonic()
+        elapsed = now - self._last_time
+        if elapsed < self.interval:
+            return
+        rate = (visited - self._last_visited) / elapsed
+        self._last_time = now
+        self._last_visited = visited
+        self.samples += 1
+        payload = {
+            "slot": self.slot,
+            "states_visited": visited,
+            "states_generated": generated,
+            "states_per_sec": round(rate),
+            "depth": depth,
+        }
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:
+            # progress is best-effort: a full or vanished spool
+            # directory must never fail the search itself
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

@@ -20,10 +20,11 @@ in through thin adapters:
 * :class:`ReferenceAdapter` — the measured baseline over the checked
   :class:`~repro.tpn.state.StateEngine` (dense O(|T|·|P|) rescans,
   dense candidate scans over all of T);
-* :class:`StateClassAdapter` — the dense-time engine over
-  :class:`~repro.tpn.stateclass.StateClassEngine` (Berthomieu–Diaz
-  classes; feasible paths are concretised back to integer time and
-  replayed through the reference engine).
+* :class:`StateClassAdapter` — the dense-time engine over the packed
+  :class:`~repro.tpn.dbm.DbmEngine` (Berthomieu–Diaz classes on flat
+  native-width buffers, optionally driven by a compiled C core;
+  feasible paths are concretised back to integer time and replayed
+  through the reference engine).
 
 The split of responsibilities is strict: the adapter knows *states*
 (how to compute a root, successors, candidates, and how to turn a
@@ -55,12 +56,9 @@ from repro.tpn.fastengine import FastState, IncrementalEngine
 from repro.tpn.interval import INF
 from repro.tpn.kernel import KernelEngine, KernelState
 from repro.tpn.net import CompiledNet
+from repro.tpn.dbm import DbmEngine, PackedClass
 from repro.tpn.state import DISABLED, State, StateEngine
-from repro.tpn.stateclass import (
-    StateClass,
-    StateClassEngine,
-    realize_firing_sequence,
-)
+from repro.tpn.stateclass import realize_firing_sequence
 
 # check the wall clock every 1024 expansions; the budget is measured
 # on time.monotonic() — never the adjustable system clock — matching
@@ -409,11 +407,14 @@ class KernelAdapter(_AdapterBase):
     key; in earliest-delay searches the entire candidate pipeline
     (ceiling, window, strict filter, partial-order reduction,
     ordering) runs inside one engine call — a single foreign call
-    when the compiled core is live.  The delay-enumeration modes fall
-    back to the raw window plus the shared expansion helpers, using
-    the engine's packed partial-order variant (the tuple-based
-    :func:`forced_immediate` reads enabledness as ``clocks[t] >= 0``
-    and cannot run on the ``0xFFFF``-sentinel clock buffer).
+    when the compiled core is live.  The delay-enumeration modes get
+    the same one-call treatment through :meth:`KernelEngine.expand`
+    (window, filters, reduction, delay expansion and ordering in C);
+    without a compiled core they fall back to the raw window plus the
+    shared expansion helpers, using the engine's packed partial-order
+    variant (the tuple-based :func:`forced_immediate` reads
+    enabledness as ``clocks[t] >= 0`` and cannot run on the
+    ``0xFFFF``-sentinel clock buffer).
     """
 
     name = "kernel"
@@ -444,6 +445,14 @@ class KernelAdapter(_AdapterBase):
             cands, reduced = self.engine.candidates(
                 state, self._strict, self._partial_order
             )
+            if reduced:
+                stats.reductions += 1
+            return cands
+        native = self.engine.expand(
+            state, self._strict, self._partial_order, self._delay_mode
+        )
+        if native is not None:
+            cands, reduced = native
             if reduced:
                 stats.reductions += 1
             return cands
@@ -545,121 +554,77 @@ class ReferenceAdapter(_AdapterBase):
 
 
 class StateClassAdapter(_AdapterBase):
-    """The dense-time engine over :class:`StateClassEngine`.
+    """The dense-time engine over the packed :class:`DbmEngine`.
 
     A state is a Berthomieu–Diaz class, so one search edge covers
     *every* dense firing delay of a transition; candidate delays are
-    the dense lower bounds (used for ordering only).  A feasible class
-    path is concretised back to integer firing times and replayed
-    through the checked reference engine in :meth:`finalize_path` —
-    the same contract the parallel scheduler applies to worker wins —
-    so the result is verdict-equivalent to the discrete engines by
-    construction.
+    the dense lower bounds (used for ordering only).  Classes are
+    packed flat buffers with precomputed fused Zobrist keys
+    (:class:`repro.tpn.dbm.PackedClass`); the whole firing rule and
+    the whole candidate pipeline — firability column scans, miss and
+    strict-priority filters, the dense forced-immediate reduction and
+    the ``(lower, priority, index)`` ordering — are one engine call
+    each, a single foreign call when the compiled DBM core is live.
+    The tuple-based :class:`StateClassEngine` remains the checked
+    Floyd–Warshall specification the packed engine is differentially
+    tested against.
+
+    A feasible class path is concretised back to integer firing times
+    and replayed through the checked reference engine in
+    :meth:`finalize_path` — the same contract the parallel scheduler
+    applies to worker wins — so the result is verdict-equivalent to
+    the discrete engines by construction.
     """
 
     name = "stateclass"
 
     def __init__(self, net: CompiledNet, config):
         super().__init__(net, config)
-        self.engine = StateClassEngine(
+        self.engine = DbmEngine(
             net, reset_policy=config.reset_policy
         )
 
-    def root(self) -> tuple[StateClass, int]:
+    def root(self) -> tuple[PackedClass, int]:
+        self.obs.instant(
+            "dbm-core",
+            cat="stateclass",
+            native=self.engine.native,
+        )
         return self.engine.initial_class(), 0
 
+    def state_key(self, cls: PackedClass) -> int:
+        return cls._hash
+
     def successor(
-        self, cls: StateClass, transition: int, _delay: int
-    ) -> StateClass | None:
+        self, cls: PackedClass, transition: int, _delay: int
+    ) -> PackedClass | None:
         # candidates are pre-checked firable; an inconsistent
         # successor would mean a DBM bug, but the core treats the
         # ``None`` as a dead end rather than crashing a long search
         return self.engine.try_fire(cls, transition)
 
     def candidates_of(
-        self, cls: StateClass, stats: SearchStats
+        self, cls: PackedClass, stats: SearchStats
     ) -> list[tuple[int, int]]:
         """Ordered ``(transition, dense lower bound)`` pairs of a class.
 
-        Firability and windows read straight off the canonical DBM
-        (see :meth:`~repro.tpn.stateclass.StateClassEngine.firable`);
+        Firability and windows read straight off the canonical DBM;
         deadline-miss transitions are never scheduled, but their LFT
         rows still cap every window, so a forced miss empties the
         candidate list and the branch dead-ends exactly like the
         discrete engines.  Ordering matches the discrete candidate
-        rule: ``(lower bound, priority, index)``.
+        rule: ``(lower bound, priority, index)``.  The whole pipeline
+        (including the dense forced-immediate partial-order pick)
+        runs inside :meth:`repro.tpn.dbm.DbmEngine.candidates`.
         """
-        miss = self._miss
-        dbm = cls.dbm
-        size = len(cls.enabled) + 1
-        cands: list[tuple[int, int]] = []
-        for var, t in enumerate(cls.enabled, start=1):
-            if t in miss:
-                continue
-            for u in range(1, size):
-                if dbm[u][var] < 0:
-                    break
-            else:
-                cands.append((t, int(-dbm[0][var])))
-        if not cands:
-            return cands
+        cands, reduced = self.engine.candidates(
+            cls, self._strict, self._partial_order
+        )
+        if reduced:
+            stats.reductions += 1
+        return cands
 
-        priorities = self._priority
-        if self._strict:
-            best = min(priorities[t] for t, _lo in cands)
-            cands = [
-                (t, lo) for t, lo in cands if priorities[t] == best
-            ]
-
-        if self._partial_order and len(cands) > 1:
-            reduced = self._forced_immediate_dense(cls, cands)
-            if reduced is not None:
-                stats.reductions += 1
-                return [reduced]
-
-        if len(cands) == 1:
-            return cands
-        expanded = [(lower, priorities[t], t) for t, lower in cands]
-        expanded.sort()
-        return [(t, q) for q, _p, t in expanded]
-
-    def _forced_immediate_dense(
-        self, cls: StateClass, cands: list[tuple[int, int]]
-    ) -> tuple[int, int] | None:
-        """Partial-order reduction pick on a state class.
-
-        The dense analogue of :func:`forced_immediate`: a candidate
-        whose *own* firing bounds are exactly ``[0, 0]`` must fire at
-        this very instant in every continuation (strong semantics, and
-        being conflict-free nothing can disable it first), so if its
-        postset also feeds no other enabled transition, firing it
-        alone is sound — the same three-condition argument as the
-        discrete reduction, with the class's own upper bound taking
-        the place of the zero dynamic upper bound.  The bound must be
-        the candidate's own ``max θ_t``, not the strong-semantics
-        window ceiling: a window zeroed by *another* transition's LFT
-        does not force ``t``, which may legally fire later once that
-        other transition goes first.
-        """
-        net = self.net
-        conflict_free = net.conflict_free
-        post_conflicts = net.post_conflicts
-        enabled = set(cls.enabled)
-        dbm = cls.dbm
-        for t, lower in cands:
-            if lower != 0 or not conflict_free[t]:
-                continue
-            var = cls.enabled.index(t) + 1
-            if dbm[var][0] != 0:
-                continue  # not forced at this instant
-            for other in post_conflicts[t]:
-                if other in enabled:
-                    break  # an enabled transition consumes from t•
-            else:
-                return (t, 0)
-        return None
-
-    def clocks_view(self, cls: StateClass) -> _DenseView:
+    def clocks_view(self, cls: PackedClass) -> _DenseView:
         """Surrogate clock vector of a class for the reorder policies.
 
         Reorder policies read ``state.clocks`` (min-laxity keys off
@@ -671,9 +636,9 @@ class StateClassAdapter(_AdapterBase):
         """
         clocks = [DISABLED] * self.net.num_transitions
         eft = self._eft
-        row0 = cls.dbm[0]
+        dbm = cls.dbm
         for var, t in enumerate(cls.enabled, start=1):
-            elapsed = eft[t] + int(row0[var])  # eft − lower bound
+            elapsed = eft[t] + dbm[var]  # eft − lower bound
             clocks[t] = elapsed if elapsed > 0 else 0
         return _DenseView(tuple(clocks))
 
@@ -770,6 +735,7 @@ class SearchCore:
         obs=None,
         metrics=None,
         heartbeat=None,
+        resplit=None,
     ):
         self.adapter = adapter
         self.config = config
@@ -779,6 +745,14 @@ class SearchCore:
         self.obs = obs
         self.metrics = metrics
         self.heartbeat = heartbeat
+        #: work-stealing re-split hook (None for serial searches): an
+        #: object with ``wants_export(n_visited) -> bool`` and
+        #: ``export([(state, now, actions), ...])`` plus a
+        #: ``max_export`` bound.  Polled at the 1024-expansion cadence;
+        #: when it asks, a prefix of the *shallowest* open frame's
+        #: remaining candidates is handed back to the shared job queue
+        #: instead of being searched locally (see ``_export_prefix``).
+        self.resplit = resplit
 
     def run(self) -> SchedulerResult:
         result = self._run()
@@ -823,6 +797,88 @@ class SearchCore:
                 args={"aggregate": True, "calls": calls},
             )
             cursor += spent_ns
+
+    def _export_prefix(
+        self, stack, visited, shared_add, state_key
+    ) -> tuple[int, int, int]:
+        """Hand a prefix of the DFS frontier back to the job queue.
+
+        Cold path of the work-stealing re-split: when one subtree
+        dwarfs the rest and other workers are starving, the *shallowest*
+        stack frame with unexpanded candidates donates up to
+        ``resplit.max_export`` of them as fresh jobs.  Donated children
+        go through exactly the successor/prune/revisit pipeline of the
+        hot loop — including the shared-filter claim, so at most one
+        worker ever searches a donated subtree (modulo the filter's
+        usual lock-free race, which only ever duplicates work) — and
+        the frame's index advances past them, so this worker never
+        expands them again.  A donated child that already reaches the
+        final marking is *not* exported: the export stops and the
+        frame index stays put, so this worker's own DFS reaches the
+        win through the normal code path.
+
+        Returns ``(generated, prunes, revisits)`` deltas so the
+        caller's counters stay truthful.
+        """
+        adapter = self.adapter
+        resplit = self.resplit
+        successor = adapter.successor
+        touches_miss = adapter.touches_miss
+        touches_final = adapter.touches_final
+        has_missed = adapter.deadline_missed
+        is_final = adapter.reached_final
+        generated = prunes = revisits = 0
+        exported: list[tuple] = []
+        for depth, frame in enumerate(stack):
+            candidates = frame.candidates
+            if frame.index >= len(candidates):
+                continue
+            actions = [
+                f.action
+                for f in stack[1 : depth + 1]
+                if f.action is not None
+            ]
+            now = frame.now
+            while (
+                frame.index < len(candidates)
+                and len(exported) < resplit.max_export
+            ):
+                transition, delay = candidates[frame.index]
+                generated += 1
+                child = successor(frame.state, transition, delay)
+                if child is None or (
+                    touches_miss[transition]
+                    and has_missed(child.marking)
+                ):
+                    frame.index += 1
+                    prunes += 1
+                    continue
+                if touches_final[transition] and is_final(
+                    child.marking
+                ):
+                    # one step from a win: keep it local (index not
+                    # advanced), the hot loop takes it from here
+                    generated -= 1
+                    break
+                if child in visited or (
+                    shared_add is not None
+                    and not shared_add(state_key(child))
+                ):
+                    frame.index += 1
+                    revisits += 1
+                    continue
+                frame.index += 1
+                exported.append(
+                    (
+                        child,
+                        now + delay,
+                        actions + [(transition, delay, now + delay)],
+                    )
+                )
+            break  # only the shallowest open frame donates
+        if exported:
+            resplit.export(exported)
+        return generated, prunes, revisits
 
     def _run(self) -> SchedulerResult:
         adapter = self.adapter
@@ -927,10 +983,12 @@ class SearchCore:
         # the metrics registry alone never turns polling on: the bare
         # hot loop and the registry-only default path run the same
         # per-expansion bytecode (the <2% gate in bench_obs_overhead)
+        resplit = self.resplit
         polled = (
             deadline is not None
             or tick is not None
             or heartbeat is not None
+            or resplit is not None
         )
         n_visited = 1
         n_generated = 0
@@ -971,6 +1029,17 @@ class SearchCore:
                     ):
                         exhausted = True
                         break
+                    if resplit is not None and resplit.wants_export(
+                        n_visited
+                    ):
+                        d_gen, d_prune, d_revisit = (
+                            self._export_prefix(
+                                stack, visited, shared_add, state_key
+                            )
+                        )
+                        n_generated += d_gen
+                        n_prunes += d_prune
+                        n_revisits += d_revisit
 
                 child = successor(frame.state, transition, delay)
                 if child is None:

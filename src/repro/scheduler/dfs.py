@@ -114,6 +114,11 @@ class PreRuntimeScheduler:
         #: protocol (False when the key was already present); states
         #: another worker claimed are skipped like local revisits.
         self.shared_filter = None
+        #: work-stealing re-split hook: when set, the search core
+        #: donates frontier prefixes back to the shared job queue
+        #: whenever the hook reports other workers are starving (see
+        #: :meth:`repro.scheduler.core.SearchCore._export_prefix`).
+        self.resplit = None
         # Observability (repro.obs).  The metrics registry is always
         # on — a few dict writes per search, snapshotted onto
         # ``SchedulerResult.metrics``; portfolio workers swap in their
@@ -128,6 +133,12 @@ class PreRuntimeScheduler:
             # job and the benches read this off the result metrics
             self.metrics.set_gauge(
                 "kernel.native_core",
+                1.0 if self.adapter.engine.native else 0.0,
+            )
+        elif engine == "stateclass":
+            # same contract for the packed DBM core
+            self.metrics.set_gauge(
+                "dbm.native_core",
                 1.0 if self.adapter.engine.native else 0.0,
             )
         self.obs = None
@@ -172,6 +183,7 @@ class PreRuntimeScheduler:
             obs=self.obs,
             metrics=self.metrics,
             heartbeat=self.heartbeat,
+            resplit=self.resplit,
         ).run()
 
     def search_from(self, root: FastState, now: int) -> SchedulerResult:
@@ -199,6 +211,7 @@ def search(
     net: CompiledNet,
     config: SchedulerConfig | None = None,
     engine: str | None = None,
+    heartbeat=None,
 ) -> SchedulerResult:
     """Synthesise a schedule for a compiled net.
 
@@ -208,6 +221,13 @@ def search(
     racing or work-stealing subtree search across worker processes).
     ``engine=None`` uses ``config.engine``; an explicit argument
     overrides it for this call.
+
+    ``heartbeat`` is an optional progress callback with the search
+    core's ``(visited, generated, depth)`` signature (e.g. a
+    :class:`repro.obs.progress.ProgressFile` spooling live counters
+    for SSE streaming); it overrides the ``config.progress`` printer
+    on the serial path.  Parallel searches run their workers in other
+    processes and ignore it.
     """
     config = config or SchedulerConfig()
     if config.parallel >= 2:
@@ -215,7 +235,10 @@ def search(
         from repro.scheduler.parallel import ParallelScheduler
 
         return ParallelScheduler(net, config, engine=engine).search()
-    return PreRuntimeScheduler(net, config, engine=engine).search()
+    scheduler = PreRuntimeScheduler(net, config, engine=engine)
+    if heartbeat is not None:
+        scheduler.heartbeat = heartbeat
+    return scheduler.search()
 
 
 def find_schedule(
@@ -223,6 +246,7 @@ def find_schedule(
     config: SchedulerConfig | None = None,
     engine: str | None = None,
     prelint: bool = True,
+    heartbeat=None,
 ) -> SchedulerResult:
     """Synthesise a schedule for a composed model.
 
@@ -261,7 +285,9 @@ def find_schedule(
             )
             result.minimum_firings = model.minimum_firings()
             return result
-    result = search(model.compiled(), config, engine=engine)
+    result = search(
+        model.compiled(), config, engine=engine, heartbeat=heartbeat
+    )
     result.minimum_firings = model.minimum_firings()
     if diagnostics:
         result.diagnostics = diagnostics

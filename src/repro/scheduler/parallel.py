@@ -32,7 +32,10 @@ the same worker plumbing:
   by one worker is skipped by all others, so the union of the subtree
   searches covers the serial search space without re-exploration; with
   real cores the exhaustive (infeasible) case scales with the worker
-  count.
+  count.  When one subtree dwarfs the rest, the busy worker *re-splits*
+  mid-search: it donates a prefix of its shallowest open DFS frame
+  back to the shared queue (:class:`_Resplitter`), so a lopsided
+  frontier partition no longer serialises the tail of the search.
 
 Determinism contract (both modes):
 
@@ -98,6 +101,17 @@ SPLIT_BUDGET = 2048
 #: First restart budget (states) of the seeded-random portfolio
 #: policy, doubled on every restart (geometric / Luby-style schedule).
 RESTART_BASE_STATES = 4096
+
+#: States a worker must have visited in its current subtree before it
+#: is allowed to re-split: donating a frontier prefix only pays off
+#: when the subtree has already proven big, and the floor keeps small
+#: jobs from ping-ponging between workers.
+RESPLIT_MIN_VISITED = 4096
+
+#: Frontier candidates donated per re-split: enough to feed several
+#: idle workers at once, small enough that the donor keeps the bulk
+#: of its (already claim-filtered) subtree.
+RESPLIT_MAX_EXPORT = 8
 
 #: Seconds the parent keeps draining stats messages after a win.
 _DRAIN_GRACE = 2.0
@@ -334,6 +348,76 @@ def validate_with_reference(
 
 
 # ----------------------------------------------------------------------
+# Work-stealing re-split
+# ----------------------------------------------------------------------
+class _Resplitter:
+    """Donates frontier prefixes back to the shared job queue.
+
+    One instance per work-stealing worker, handed to the search core
+    as its ``resplit`` hook.  The trigger is *starvation*: the shared
+    ``outstanding`` counter tracks jobs enqueued but not yet finished
+    (queue depth plus in-flight), so ``outstanding < workers`` means
+    at least one worker is idle or about to be.  A busy worker that
+    has already sunk :data:`RESPLIT_MIN_VISITED` states into its
+    current subtree then exports up to :data:`RESPLIT_MAX_EXPORT`
+    unexpanded frontier children as fresh jobs — each one claimed in
+    the shared visited filter *before* export, so duplication stays
+    bounded by the filter's usual lock-free race (which only ever
+    duplicates work, never loses it).
+
+    The exported jobs carry ``prefix + path-to-child`` action tuples,
+    so a receiving worker's win concatenates into a complete schedule
+    exactly like a first-generation frontier job.
+    """
+
+    __slots__ = (
+        "jobs",
+        "outstanding",
+        "workers",
+        "metrics",
+        "max_export",
+        "prefix",
+    )
+
+    def __init__(self, jobs, outstanding, workers: int, metrics):
+        self.jobs = jobs
+        self.outstanding = outstanding
+        self.workers = workers
+        self.metrics = metrics
+        self.max_export = RESPLIT_MAX_EXPORT
+        self.prefix: tuple = ()
+
+    def begin_job(self, prefix: tuple) -> None:
+        """Record the action prefix of the job about to be searched."""
+        self.prefix = tuple(prefix)
+
+    def wants_export(self, n_visited: int) -> bool:
+        # dirty read: worst case a donation races a fresh enqueue and
+        # the queue briefly holds one more job than strictly needed
+        return (
+            n_visited >= RESPLIT_MIN_VISITED
+            and self.outstanding.value < self.workers
+        )
+
+    def export(self, entries) -> None:
+        """Enqueue donated ``(state, now, actions)`` frontier children.
+
+        The outstanding counter is raised *before* the puts so an idle
+        worker polling an empty queue never concludes "all work done"
+        while donations are in flight.
+        """
+        with self.outstanding.get_lock():
+            self.outstanding.value += len(entries)
+        prefix = self.prefix
+        for state, now, actions in entries:
+            self.jobs.put(
+                export_job(state, now, prefix + tuple(actions))
+            )
+        self.metrics.inc("worksteal.resplits")
+        self.metrics.inc("worksteal.jobs_resplit", len(entries))
+
+
+# ----------------------------------------------------------------------
 # Worker processes
 # ----------------------------------------------------------------------
 def _stats_payload(stats: SearchStats) -> dict:
@@ -503,8 +587,19 @@ def _worksteal_worker(
     cancel,
     visited_filter: SharedVisitedFilter,
     visited_total,
+    outstanding,
+    n_workers: int,
 ) -> None:
-    """Drain subtree jobs against the shared visited filter."""
+    """Drain subtree jobs against the shared visited filter.
+
+    Termination is counter-based rather than sentinel-based:
+    ``outstanding`` holds the number of jobs enqueued but not yet
+    finished (the parent seeds it with the frontier size; re-splits
+    raise it before enqueueing; every drained job lowers it on
+    completion).  An empty queue with ``outstanding <= 0`` means the
+    whole space has been handed out and finished — sentinels cannot
+    express that once workers are allowed to *add* jobs mid-search.
+    """
     merged: dict = {}
     exhausted_any = False
     names = net.transition_names
@@ -516,6 +611,8 @@ def _worksteal_worker(
         )
         scheduler.shared_filter = visited_filter
         scheduler.metrics = metrics
+        resplitter = _Resplitter(jobs, outstanding, n_workers, metrics)
+        scheduler.resplit = resplitter
         if scheduler.obs is not None:
             scheduler.obs.track = f"w{index}:worksteal"
         if scheduler.heartbeat is not None:
@@ -537,17 +634,23 @@ def _worksteal_worker(
             try:
                 job = jobs.get(timeout=0.2)
             except queue_module.Empty:
+                with outstanding.get_lock():
+                    if outstanding.value <= 0:
+                        break
                 continue
-            if job is None:
-                break
             flushed[0] = 0
             # one steal per drained job; counters sum across workers,
             # so the merged snapshot carries both the per-worker split
             # and the total
             metrics.inc("worksteal.jobs_stolen")
             metrics.inc(f"worker.{index}.jobs_stolen")
+            resplitter.begin_job(job.prefix)
             root = scheduler.fast.revive(job.marking, job.clocks)
-            result = scheduler.search_from(root, job.now)
+            try:
+                result = scheduler.search_from(root, job.now)
+            finally:
+                with outstanding.get_lock():
+                    outstanding.value -= 1
             with visited_total.get_lock():
                 visited_total.value += (
                     result.stats.states_visited - flushed[0]
@@ -877,11 +980,13 @@ class ParallelScheduler:
         )
         visited_filter.seed(split.seen_hashes)
         visited_total = ctx.Value("q", len(split.seen_hashes))
+        # jobs enqueued but not yet finished; workers exit on an empty
+        # queue only once this reaches zero (re-splits raise it, so a
+        # fixed sentinel count cannot express termination)
+        outstanding = ctx.Value("q", len(split.jobs))
         jobs: object = ctx.Queue()
         for job in split.jobs:
             jobs.put(job)
-        for _ in range(n_workers):
-            jobs.put(None)
         results = ctx.Queue()
         cancel = ctx.Event()
         workers = [
@@ -896,6 +1001,8 @@ class ParallelScheduler:
                     cancel,
                     visited_filter,
                     visited_total,
+                    outstanding,
+                    n_workers,
                 ),
                 name=f"ezrt-worksteal-{index}",
             )
@@ -995,6 +1102,17 @@ class ParallelScheduler:
                     if budget_deadline is not None and (
                         time.monotonic() > budget_deadline
                     ):
+                        cancel.set()
+                        if drain_deadline is None:
+                            drain_deadline = (
+                                time.monotonic() + _DRAIN_GRACE
+                            )
+                    alive = sum(1 for p in workers if p.is_alive())
+                    if alive + len(messages) < expected:
+                        # a worker died without reporting: anything it
+                        # held (its in-flight job, its outstanding-
+                        # counter slot) can never complete, so release
+                        # the survivors instead of letting them spin
                         cancel.set()
                         if drain_deadline is None:
                             drain_deadline = (

@@ -37,6 +37,8 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 
@@ -175,6 +177,7 @@ class JobManager:
         audit_path: str | None = None,
         queue_size: int = 256,
         heartbeat: float = 0.25,
+        progress_dir: str | None = None,
     ):
         self.bridge = bridge
         self.audit = AuditLog(audit_path)
@@ -182,6 +185,13 @@ class JobManager:
         self.queue_size = queue_size
         self.heartbeat = heartbeat
         self.submit_latency = RollingQuantiles()
+        # live-progress spool: fresh computes write rate-limited search
+        # counters to <dir>/<fingerprint>.json from their pool worker
+        # (repro.obs.progress.ProgressFile); the ticker reads the
+        # latest sample back into the SSE `progress` event.  An owned
+        # tempdir is created lazily and removed on aclose.
+        self.progress_dir = progress_dir
+        self._owns_progress_dir = progress_dir is None
         self._records: dict[str, JobRecord] = {}
         self._by_key: dict[str, JobRecord] = {}
         self._counter = 0
@@ -192,6 +202,12 @@ class JobManager:
     def bind(self, loop: asyncio.AbstractEventLoop) -> None:
         """Attach to the serving loop and start the progress ticker."""
         self._loop = loop
+        if self.progress_dir is None:
+            self.progress_dir = tempfile.mkdtemp(
+                prefix="ezrt-progress-"
+            )
+        else:
+            os.makedirs(self.progress_dir, exist_ok=True)
         if self.heartbeat > 0:
             self._heartbeat_task = loop.create_task(
                 self._progress_ticker()
@@ -208,6 +224,9 @@ class JobManager:
         for record in self._records.values():
             for queue in record.subscribers:
                 queue.close()
+        if self._owns_progress_dir and self.progress_dir is not None:
+            shutil.rmtree(self.progress_dir, ignore_errors=True)
+            self.progress_dir = None
         self.audit.close()
 
     # ------------------------------------------------------------------
@@ -231,7 +250,9 @@ class JobManager:
         """Accept one spec/job on the event loop; returns its record."""
         assert self._loop is not None, "manager is not bound to a loop"
         started = time.monotonic()
-        submission = self.bridge.submit(item, timeout=timeout)
+        submission = self.bridge.submit(
+            item, timeout=timeout, progress_dir=self.progress_dir
+        )
         self._counter += 1
         disposition = DISPOSITIONS[submission.disposition]
         record = JobRecord(
@@ -305,6 +326,39 @@ class JobManager:
         for queue in record.subscribers:
             queue.close()
         record.done_event.set()
+        self._drop_progress_spool(record.key)
+
+    def _drop_progress_spool(self, key: str) -> None:
+        """Best-effort removal of a finished job's progress file."""
+        if self.progress_dir is None:
+            return
+        if any(
+            r.key == key and r.state != JOB_DONE
+            for r in self._records.values()
+        ):
+            return  # a joined duplicate is still streaming it
+        try:
+            os.unlink(os.path.join(self.progress_dir, f"{key}.json"))
+        except OSError:
+            pass
+
+    def _read_progress_spool(self, key: str) -> dict | None:
+        """Latest live-search sample for a fingerprint, if spooled.
+
+        The worker's writes are atomic (``os.replace``), so a read
+        sees a complete JSON document or no file; anything else —
+        including a torn read on exotic filesystems — is treated as
+        "no sample yet" rather than an error.
+        """
+        if self.progress_dir is None:
+            return None
+        path = os.path.join(self.progress_dir, f"{key}.json")
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
 
     def _done_event(self, record: JobRecord) -> ServerEvent:
         outcome = record.outcome or {}
@@ -412,26 +466,36 @@ class JobManager:
             snapshot = self.metrics_snapshot()
             counters = snapshot.get("counters", {})
             for record in running:
+                payload = {
+                    "job": record.id,
+                    "state": record.state,
+                    "elapsed_seconds": round(record.elapsed(), 6),
+                    "submissions": counters.get(
+                        "service.submissions", 0
+                    ),
+                    "dedup_hits": counters.get(
+                        "bridge.dedup_joined", 0
+                    ),
+                    "cache_hits": counters.get(
+                        "bridge.cache_hits", 0
+                    ),
+                }
+                sample = self._read_progress_spool(record.key)
+                if sample is not None:
+                    # live counters from the worker's search loop;
+                    # the spool is keyed by fingerprint, so joined
+                    # (deduplicated) submissions see the leader's
+                    # search progress too
+                    for name in (
+                        "slot",
+                        "states_visited",
+                        "states_generated",
+                        "states_per_sec",
+                        "depth",
+                    ):
+                        if name in sample:
+                            payload[name] = sample[name]
                 self._publish(
                     record,
-                    ServerEvent.of(
-                        "progress",
-                        {
-                            "job": record.id,
-                            "state": record.state,
-                            "elapsed_seconds": round(
-                                record.elapsed(), 6
-                            ),
-                            "submissions": counters.get(
-                                "service.submissions", 0
-                            ),
-                            "dedup_hits": counters.get(
-                                "bridge.dedup_joined", 0
-                            ),
-                            "cache_hits": counters.get(
-                                "bridge.cache_hits", 0
-                            ),
-                        },
-                        id=record.id,
-                    ),
+                    ServerEvent.of("progress", payload, id=record.id),
                 )

@@ -71,6 +71,10 @@ int32_t kn_candidates(const kn_net *net, const uint16_t *clk,
                       int32_t *out, int32_t *reduced);
 int32_t kn_window(const kn_net *net, const uint16_t *clk,
                   int32_t *out, int32_t *ceiling_out);
+int32_t kn_expand(const kn_net *net, const uint16_t *clk,
+                  int32_t strict, int32_t partial_order,
+                  int32_t full, int32_t *out, int32_t cap,
+                  int32_t *reduced);
 """
 
 # The successor/firable/min-DUB inner loop over the packed buffers.
@@ -98,6 +102,7 @@ typedef struct kn_net {
     const int32_t *eft, *lft, *prio;
     const uint8_t *flags;
     uint16_t *scratch; /* P words: intermediate-marking reference */
+    int32_t *cand;     /* 2T words: pre-expansion candidate pairs */
 } kn_net;
 
 kn_net *kn_net_new(int32_t num_places, int32_t num_transitions,
@@ -131,7 +136,12 @@ kn_net *kn_net_new(int32_t num_places, int32_t num_transitions,
     net->flags = flags;
     net->scratch = (uint16_t *)malloc(
         (num_places ? (size_t)num_places : 1) * sizeof(uint16_t));
-    if (!net->scratch) {
+    net->cand = (int32_t *)malloc(
+        2 * (num_transitions ? (size_t)num_transitions : 1)
+        * sizeof(int32_t));
+    if (!net->scratch || !net->cand) {
+        free(net->scratch);
+        free(net->cand);
         free(net);
         return NULL;
     }
@@ -142,6 +152,7 @@ void kn_net_free(kn_net *net)
 {
     if (net) {
         free(net->scratch);
+        free(net->cand);
         free(net);
     }
 }
@@ -419,6 +430,183 @@ int32_t kn_window(const kn_net *net, const uint16_t *clk,
     }
     *ceiling_out = (ceiling == KN_INF_CEILING) ? -1 : ceiling;
     return n;
+}
+
+/* The full candidate pipeline of the delay-enumeration modes
+ * ("extremes" when `full` is 0, "full" when 1): window, strict
+ * priority filter, forced-immediate partial-order reduction, the
+ * delay expansion against the min-DUB ceiling and the
+ * (delay, priority, index) sort — everything the Python fallback
+ * composes from kn_window + order_and_expand, in one call.  An
+ * unbounded ceiling collapses to earliest-only ordering, exactly
+ * like repro.scheduler.core.order_and_expand.  `out` receives
+ * (transition, delay) pairs; returns the count, or -needed when
+ * `cap` pairs are not enough (the caller grows the buffer and
+ * retries). */
+int32_t kn_expand(const kn_net *net, const uint16_t *clk,
+                  int32_t strict, int32_t partial_order,
+                  int32_t full, int32_t *out, int32_t cap,
+                  int32_t *reduced)
+{
+    int32_t T = net->T;
+    int32_t ceiling = KN_INF_CEILING;
+    int32_t tk, k, n = 0, needed, m, q;
+
+    *reduced = 0;
+    for (tk = 0; tk < T; tk++) {
+        uint32_t v = clk[tk];
+        int32_t l;
+        if (v == KN_DIS)
+            continue;
+        l = net->lft[tk];
+        if (l < 0)
+            continue;
+        l -= (int32_t)v;
+        if (l < ceiling)
+            ceiling = l;
+    }
+    for (tk = 0; tk < T; tk++) {
+        uint32_t v = clk[tk];
+        int32_t lo;
+        if (v == KN_DIS || (net->flags[tk] & 2))
+            continue;
+        lo = net->eft[tk] - (int32_t)v;
+        if (lo < 0)
+            lo = 0;
+        if (lo <= ceiling) {
+            net->cand[2 * n] = tk;
+            net->cand[2 * n + 1] = lo;
+            n++;
+        }
+    }
+    if (n == 0)
+        return 0;
+
+    if (strict) {
+        int32_t best = net->prio[net->cand[0]];
+        int32_t m2 = 0;
+        for (k = 1; k < n; k++)
+            if (net->prio[net->cand[2 * k]] < best)
+                best = net->prio[net->cand[2 * k]];
+        for (k = 0; k < n; k++) {
+            if (net->prio[net->cand[2 * k]] == best) {
+                net->cand[2 * m2] = net->cand[2 * k];
+                net->cand[2 * m2 + 1] = net->cand[2 * k + 1];
+                m2++;
+            }
+        }
+        n = m2;
+    }
+
+    if (partial_order && n > 1) {
+        for (k = 0; k < n; k++) {
+            int32_t tc = net->cand[2 * k];
+            int32_t l, m2, ok = 1;
+            if (net->cand[2 * k + 1] != 0 || !(net->flags[tc] & 4))
+                continue;
+            l = net->lft[tc];
+            if (l < 0 || l - (int32_t)clk[tc] > 0)
+                continue;
+            for (m2 = net->pc_off[tc]; m2 < net->pc_off[tc + 1];
+                 m2++) {
+                if (clk[net->pc_t[m2]] != KN_DIS) {
+                    ok = 0;
+                    break;
+                }
+            }
+            if (ok) {
+                /* the reduced pick still goes through the delay
+                 * expansion below, like the Python pipeline */
+                net->cand[0] = tc;
+                net->cand[1] = 0;
+                n = 1;
+                *reduced = 1;
+                break;
+            }
+        }
+    }
+
+    if (ceiling == KN_INF_CEILING) {
+        /* nothing finite to enumerate: earliest-style output */
+        if (n > cap)
+            return -n;
+        for (k = 0; k < n; k++) {
+            out[2 * k] = net->cand[2 * k];
+            out[2 * k + 1] = net->cand[2 * k + 1];
+        }
+        for (k = 1; k < n; k++) {
+            int32_t tc = out[2 * k], lo = out[2 * k + 1];
+            int32_t pk = net->prio[tc];
+            int32_t m2 = k - 1;
+            while (m2 >= 0) {
+                int32_t tm = out[2 * m2], lm = out[2 * m2 + 1];
+                int32_t pm = net->prio[tm];
+                if (lm > lo ||
+                    (lm == lo &&
+                     (pm > pk || (pm == pk && tm > tc)))) {
+                    out[2 * m2 + 2] = tm;
+                    out[2 * m2 + 3] = lm;
+                    m2--;
+                } else {
+                    break;
+                }
+            }
+            out[2 * m2 + 2] = tc;
+            out[2 * m2 + 3] = lo;
+        }
+        return n;
+    }
+
+    needed = 0;
+    for (k = 0; k < n; k++) {
+        int32_t lo = net->cand[2 * k + 1];
+        needed += full ? (ceiling - lo + 1)
+                       : (ceiling == lo ? 1 : 2);
+    }
+    if (needed > cap)
+        return -needed;
+    m = 0;
+    for (k = 0; k < n; k++) {
+        int32_t tc = net->cand[2 * k], lo = net->cand[2 * k + 1];
+        if (full) {
+            for (q = lo; q <= ceiling; q++) {
+                out[2 * m] = tc;
+                out[2 * m + 1] = q;
+                m++;
+            }
+        } else {
+            out[2 * m] = tc;
+            out[2 * m + 1] = lo;
+            m++;
+            if (ceiling != lo) {
+                out[2 * m] = tc;
+                out[2 * m + 1] = ceiling;
+                m++;
+            }
+        }
+    }
+    /* insertion sort by (delay, priority, index) */
+    for (k = 1; k < m; k++) {
+        int32_t tc = out[2 * k], qd = out[2 * k + 1];
+        int32_t pk = net->prio[tc];
+        int32_t m2 = k - 1;
+        while (m2 >= 0) {
+            int32_t tm = out[2 * m2], qm = out[2 * m2 + 1];
+            int32_t pm = net->prio[tm];
+            if (qm > qd ||
+                (qm == qd &&
+                 (pm > pk || (pm == pk && tm > tc)))) {
+                out[2 * m2 + 2] = tm;
+                out[2 * m2 + 3] = qm;
+                m2--;
+            } else {
+                break;
+            }
+        }
+        out[2 * m2 + 2] = tc;
+        out[2 * m2 + 3] = qd;
+    }
+    return m;
 }
 """
 

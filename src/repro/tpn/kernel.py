@@ -150,6 +150,8 @@ class _NativeCore:
         "_red",
         "_ceil",
         "_hash_io",
+        "_xout",
+        "_xcap",
     )
 
     def __init__(self, module, net: CompiledNet):
@@ -221,6 +223,10 @@ class _NativeCore:
         self._red = ffi.new("int32_t *")
         self._ceil = ffi.new("int32_t *")
         self._hash_io = ffi.new("uint64_t *")
+        # expansion output of the delay-enumeration modes; grows on
+        # demand (the "full" policy emits one pair per integer delay)
+        self._xcap = max(64, 4 * net.num_transitions)
+        self._xout = ffi.new("int32_t[]", 2 * self._xcap)
 
     def full_hash(self, mark: array, clk: array) -> int:
         ffi = self.ffi
@@ -257,6 +263,29 @@ class _NativeCore:
             out,
             self._red,
         )
+        return (
+            [(out[2 * i], out[2 * i + 1]) for i in range(n)],
+            bool(self._red[0]),
+        )
+
+    def expand(self, clk, strict, partial_order, full):
+        clk_ptr = self.ffi.from_buffer("uint16_t[]", clk)
+        while True:
+            n = self.lib.kn_expand(
+                self.net_ptr,
+                clk_ptr,
+                strict,
+                partial_order,
+                full,
+                self._xout,
+                self._xcap,
+                self._red,
+            )
+            if n >= 0:
+                break
+            self._xcap = -n
+            self._xout = self.ffi.new("int32_t[]", 2 * self._xcap)
+        out = self._xout
         return (
             [(out[2 * i], out[2 * i + 1]) for i in range(n)],
             bool(self._red[0]),
@@ -609,6 +638,34 @@ class KernelEngine:
             else:
                 return (t, 0)
         return None
+
+    def expand(
+        self,
+        state: KernelState,
+        strict: bool,
+        partial_order: bool,
+        delay_mode: str,
+    ) -> tuple[list[tuple[int, int]], bool] | None:
+        """Native candidate pipeline of the delay-enumeration modes
+        (``"extremes"`` / ``"full"``), or ``None`` without a compiled
+        core.
+
+        One foreign call covers the window, the strict filter, the
+        packed partial-order reduction, the delay expansion against
+        the min-DUB ceiling and the ``(delay, priority, index)``
+        ordering — the exact composition the adapter's Python
+        fallback builds from :meth:`window` plus
+        :func:`repro.scheduler.core.order_and_expand`.
+        """
+        core = self._core
+        if core is None:
+            return None
+        return core.expand(
+            state.clk,
+            1 if strict else 0,
+            1 if partial_order else 0,
+            1 if delay_mode == "full" else 0,
+        )
 
     def window(
         self, state: KernelState

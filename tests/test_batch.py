@@ -186,6 +186,17 @@ class TestCacheKey:
             != BatchJob(spec=spec, timeout=2.0).key()
         )
 
+    def test_progress_path_not_in_key(self, tmp_path):
+        """The live-progress spool is pure observability: a streamed
+        submission must still hit the cache entry of an identical
+        job that never spooled."""
+        spec = fig3_precedence()
+        plain = BatchJob(spec=spec)
+        spooled = BatchJob(
+            spec=spec, progress_path=str(tmp_path / "p.json")
+        )
+        assert plain.key() == spooled.key()
+
     def test_engine_changes_key(self):
         """Regression: engine selection must be part of the key.
 

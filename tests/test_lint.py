@@ -32,6 +32,7 @@ from repro.lint import (
     LintReport,
     check_fixture_dir,
     config_diagnostics,
+    dbm_bound_diagnostics,
     errors,
     fingerprint_drift,
     format_report,
@@ -62,6 +63,8 @@ from repro.spec import (
     mine_pump,
 )
 from repro.spec.model import EzRTSpec, Task
+from repro.tpn.dbm import MAX_BOUND
+from repro.tpn.interval import INF, TimeInterval
 from repro.tpn.kernel import MAX_TOKENS
 from repro.tpn.net import TimePetriNet
 
@@ -354,6 +357,92 @@ class TestNetRules:
 
     def test_small_spec_has_no_token_cap_finding(self):
         assert token_cap_diagnostics(mine_pump(), engine="kernel") == []
+
+    def test_net_interval_over_dbm_bound_cap(self):
+        net = TimePetriNet("wide")
+        net.add_place("p0", marking=1)
+        net.add_place("p1")
+        net.add_transition(
+            "t0", interval=TimeInterval(0, MAX_BOUND + 1)
+        )
+        net.add_arc("p0", "t0")
+        net.add_arc("t0", "p1")
+        compiled = net.compile()
+        for_stateclass = [
+            d for d in net_diagnostics(compiled, engine="stateclass")
+            if d.code == "EZT204"
+        ]
+        assert for_stateclass
+        assert for_stateclass[0].severity == ERROR
+        assert "t0" in for_stateclass[0].element
+        generic = [
+            d for d in net_diagnostics(compiled) if d.code == "EZT204"
+        ]
+        assert generic and generic[0].severity == WARNING
+
+    def test_net_unbounded_interval_checks_eft_only(self):
+        # lft = INF is the DBM's sentinel, not a magnitude — only a
+        # finite bound past the cap may fire the rule
+        net = TimePetriNet("open")
+        net.add_place("p0", marking=1)
+        net.add_place("p1")
+        net.add_transition("t0", interval=TimeInterval(1, INF))
+        net.add_arc("p0", "t0")
+        net.add_arc("t0", "p1")
+        diagnostics = [
+            d
+            for d in net_diagnostics(
+                net.compile(), engine="stateclass"
+            )
+            if d.code == "EZT204"
+        ]
+        assert diagnostics == []
+
+    def test_spec_level_dbm_bound_cap(self):
+        spec = EzRTSpec(
+            "wide",
+            tasks=[
+                Task(
+                    "slow",
+                    computation=1,
+                    deadline=MAX_BOUND + 1,
+                    period=MAX_BOUND + 1,
+                )
+            ],
+        )
+        diagnostics = dbm_bound_diagnostics(spec, engine="stateclass")
+        assert codes(diagnostics) == ["EZT204"]
+        assert diagnostics[0].severity == WARNING
+        assert "state-class" in diagnostics[0].message
+        # presearch includes it only when targeting the dense engine
+        assert "EZT204" in codes(
+            presearch_diagnostics(spec, engine="stateclass")
+        )
+        assert "EZT204" not in codes(presearch_diagnostics(spec))
+        assert "EZT204" not in codes(
+            presearch_diagnostics(spec, engine="kernel")
+        )
+
+    def test_coprime_periods_overflow_via_hyper_period(self):
+        # every field is far below the cap, but the hyper-period
+        # multiplies the co-prime periods past it
+        p, q = 65537, 65539  # both prime; p * q > 2**30
+        spec = EzRTSpec(
+            "coprime",
+            tasks=[
+                Task("a", computation=1, deadline=p, period=p),
+                Task("b", computation=1, deadline=q, period=q),
+            ],
+        )
+        diagnostics = dbm_bound_diagnostics(spec)
+        assert codes(diagnostics) == ["EZT204"]
+        assert "hyper-period" in diagnostics[0].message
+
+    def test_small_spec_has_no_dbm_bound_finding(self):
+        assert (
+            dbm_bound_diagnostics(mine_pump(), engine="stateclass")
+            == []
+        )
 
 
 # ----------------------------------------------------------------------

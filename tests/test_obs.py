@@ -21,6 +21,7 @@ from repro.obs import (
     JsonlSink,
     MetricsRegistry,
     NullRecorder,
+    ProgressFile,
     ProgressPrinter,
     Recorder,
     chrome_trace,
@@ -398,6 +399,47 @@ class TestProgressPrinter:
         )
         printer(10, 20, 1)  # must not raise, NULL recorder skipped
         assert "[progress]" in stream.getvalue()
+
+
+class TestProgressFile:
+    def test_rate_limited(self, tmp_path):
+        path = str(tmp_path / "progress.json")
+        spool = ProgressFile(path, interval=3600.0)
+        spool(100, 200, 5)
+        assert not os.path.exists(path)
+        assert spool.samples == 0
+
+    def test_sample_spools_atomic_json(self, tmp_path):
+        path = str(tmp_path / "progress.json")
+        spool = ProgressFile(path, slot="kernel", interval=0.0)
+        spool(1024, 2048, 9)
+        with open(path, encoding="utf-8") as handle:
+            sample = json.load(handle)
+        assert sample == {
+            "slot": "kernel",
+            "states_visited": 1024,
+            "states_generated": 2048,
+            "states_per_sec": sample["states_per_sec"],
+            "depth": 9,
+        }
+        assert sample["states_per_sec"] >= 0
+        # no leftover temp file: the write went through os.replace
+        assert os.listdir(tmp_path) == ["progress.json"]
+        # a later sample overwrites, never appends
+        spool(4096, 8192, 3)
+        with open(path, encoding="utf-8") as handle:
+            sample = json.load(handle)
+        assert sample["states_visited"] == 4096
+        assert sample["depth"] == 3
+        assert spool.samples == 2
+
+    def test_vanished_directory_never_raises(self, tmp_path):
+        gone = tmp_path / "gone"
+        gone.mkdir()
+        spool = ProgressFile(str(gone / "p.json"), interval=0.0)
+        gone.rmdir()  # spool dir torn down mid-search
+        spool(10, 20, 1)  # best-effort: swallowed, search unharmed
+        assert spool.samples == 1
 
 
 # ----------------------------------------------------------------------

@@ -334,6 +334,101 @@ class TestRandomizedParity:
 
 
 # ----------------------------------------------------------------------
+# Work-stealing re-split
+# ----------------------------------------------------------------------
+class TestResplit:
+    """Mid-search frontier donation (``_Resplitter``).
+
+    The threshold is monkeypatched *before* the fork so every worker
+    inherits an aggressive trigger; real runs only re-split once a
+    subtree has proven big (``RESPLIT_MIN_VISITED``).
+    """
+
+    @staticmethod
+    def _hard_infeasible_model():
+        # exhaustive (infeasible) space of ~1-2k states: large enough
+        # that workers are still searching when the queue runs dry,
+        # which is exactly the starvation signal that triggers exports
+        return compose(
+            random_task_set(
+                5, 0.95, seed=7, deadline_slack=0.35
+            )
+        )
+
+    def test_resplit_fires_and_preserves_verdict(self, monkeypatch):
+        import repro.scheduler.parallel as par
+
+        monkeypatch.setattr(par, "RESPLIT_MIN_VISITED", 8)
+        model = self._hard_infeasible_model()
+        serial = _verdict(
+            model, SchedulerConfig(max_states=300_000)
+        )
+        assert not serial.feasible and not serial.exhausted
+        parallel = _verdict(
+            model,
+            SchedulerConfig(
+                max_states=300_000,
+                parallel=2,
+                parallel_mode="worksteal",
+            ),
+        )
+        counters = (parallel.metrics or {}).get("counters", {})
+        assert counters.get("worksteal.resplits", 0) > 0
+        assert parallel.feasible == serial.feasible
+        assert not parallel.exhausted
+        assert _no_ezrt_children()
+
+    def test_resplit_duplication_is_bounded(self, monkeypatch):
+        """Donated subtrees are claim-filtered before export, so the
+        union of worker searches re-explores at most a handful of
+        states (job roots double-counted, lock-free claim races) —
+        never a multiple of the serial space."""
+        import repro.scheduler.parallel as par
+
+        monkeypatch.setattr(par, "RESPLIT_MIN_VISITED", 8)
+        model = self._hard_infeasible_model()
+        serial = _verdict(
+            model, SchedulerConfig(max_states=300_000)
+        )
+        parallel = _verdict(
+            model,
+            SchedulerConfig(
+                max_states=300_000,
+                parallel=2,
+                parallel_mode="worksteal",
+            ),
+        )
+        assert parallel.feasible == serial.feasible
+        assert (
+            parallel.stats.states_visited
+            <= serial.stats.states_visited * 1.25 + 100
+        )
+        assert _no_ezrt_children()
+
+    def test_resplit_feasible_schedule_still_validates(
+        self, monkeypatch
+    ):
+        """A win reached through a donated job concatenates its prefix
+        into a complete schedule (the reference-replay gate inside
+        ``ParallelScheduler.search`` would raise otherwise)."""
+        import repro.scheduler.parallel as par
+
+        monkeypatch.setattr(par, "RESPLIT_MIN_VISITED", 8)
+        spec = random_task_set(
+            5, 0.85, seed=7, preemptive_fraction=1.0,
+            deadline_slack=0.7,
+        )
+        model = compose(spec)
+        result = find_schedule(
+            model,
+            SchedulerConfig(parallel=3, parallel_mode="worksteal"),
+        )
+        assert result.feasible
+        assert result.firing_schedule
+        assert _no_ezrt_children()
+
+
+# ----------------------------------------------------------------------
 # Cancellation and resource hygiene
 # ----------------------------------------------------------------------
 class TestCancellation:

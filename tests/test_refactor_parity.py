@@ -184,6 +184,40 @@ class TestPaperModelPins:
     @pytest.mark.parametrize(
         "model", ("fig3", "fig4", "fig8", "mine-pump")
     )
+    def test_stateclass_pins_hold_on_pure_fallback(
+        self, paper_nets, model, reset_policy
+    ):
+        """ISSUE 10 moved the dense-time adapter onto the packed
+        :class:`repro.tpn.dbm.DbmEngine`; the pre-refactor stateclass
+        pins must hold on its pure-Python fallback exactly as they do
+        on the compiled core (the EZRT_PURE=1 CI lane)."""
+        config = SchedulerConfig(
+            reset_policy=reset_policy, engine="stateclass"
+        )
+        scheduler = PreRuntimeScheduler(paper_nets[model], config)
+        scheduler.adapter.engine._core = None
+        scheduler.adapter.engine.native = False
+        result = scheduler.search()
+        stats = result.stats
+        assert (
+            result.feasible,
+            stats.states_visited,
+            stats.states_generated,
+            stats.revisits_skipped,
+            stats.deadline_prunes,
+            stats.backtracks,
+            stats.reductions,
+            result.schedule_length,
+            result.makespan,
+        ) == PAPER_PIN[(model, "stateclass")], (
+            f"{model}/stateclass/{reset_policy} pure fallback "
+            "diverged from the pre-refactor loop"
+        )
+
+    @pytest.mark.parametrize("reset_policy", RESETS)
+    @pytest.mark.parametrize(
+        "model", ("fig3", "fig4", "fig8", "mine-pump")
+    )
     def test_discrete_adapters_agree_exactly(
         self, paper_nets, model, reset_policy
     ):
